@@ -1,0 +1,28 @@
+// Minimal CLI handling shared by all bench binaries: `--quick` shrinks
+// sweeps for smoke runs; `--seed N` changes the experiment seed.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace rdmamon::bench {
+
+struct Options {
+  bool quick = false;
+  std::uint64_t seed = 42;
+};
+
+inline Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      o.quick = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      o.seed = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  return o;
+}
+
+}  // namespace rdmamon::bench

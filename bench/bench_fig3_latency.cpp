@@ -1,0 +1,100 @@
+// Figure 3: monitoring latency of the four schemes as background
+// computation + communication threads are added to the back-end server.
+// Paper shape: Socket-Async and Socket-Sync grow roughly linearly with
+// load; RDMA-Async and RDMA-Sync stay flat.
+#include <memory>
+
+#include "args.hpp"
+#include "common.hpp"
+#include "monitor/monitor.hpp"
+#include "net/fabric.hpp"
+#include "os/node.hpp"
+#include "sim/simulation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+using namespace rdmamon;
+using monitor::Scheme;
+
+double mean_latency_us(Scheme scheme, int bg_threads, sim::Duration run) {
+  sim::Simulation simu;
+  net::Fabric fabric(simu, {});
+  os::NodeConfig ncfg;
+  ncfg.name = "backend";
+  os::Node frontend(simu, {.name = "frontend"});
+  os::Node backend(simu, ncfg);
+  os::Node peer(simu, {.name = "peer"});
+  fabric.attach(frontend);
+  fabric.attach(backend);
+  fabric.attach(peer);
+
+  std::unique_ptr<workload::BackgroundLoad> bg;
+  if (bg_threads > 0) {
+    workload::BackgroundLoadConfig bcfg;
+    bcfg.threads = bg_threads;
+    bg = std::make_unique<workload::BackgroundLoad>(fabric, backend, peer,
+                                                    bcfg);
+  }
+
+  monitor::MonitorConfig mcfg;
+  mcfg.scheme = scheme;
+  monitor::MonitorChannel chan(fabric, frontend, backend, mcfg);
+
+  sim::OnlineStats lat_us;
+  frontend.spawn("mon", [&](os::SimThread& self) -> os::Program {
+    co_await os::SleepFor{sim::msec(200)};  // warm-up
+    for (;;) {
+      monitor::MonitorSample s;
+      co_await chan.frontend().fetch(self, s);
+      if (s.ok) lat_us.add(s.latency().micros());
+      co_await os::SleepFor{sim::msec(50)};  // the paper's T = 50 ms
+    }
+  });
+  simu.run_for(run);
+  return lat_us.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = rdmamon::bench::parse_args(argc, argv);
+  using rdmamon::bench::num;
+  rdmamon::bench::banner(
+      "Figure 3", "Monitoring latency vs back-end background threads",
+      "socket schemes grow ~linearly with load; RDMA schemes stay flat");
+
+  const std::vector<int> thread_counts = opts.quick
+                                             ? std::vector<int>{0, 4, 8}
+                                             : std::vector<int>{0, 2, 4, 8,
+                                                                12, 16};
+  const sim::Duration run =
+      opts.quick ? sim::seconds(3) : sim::seconds(8);
+
+  rdmamon::util::Table table;
+  std::vector<std::string> header = {"background threads"};
+  for (int n : thread_counts) header.push_back(std::to_string(n));
+  table.set_header(header);
+  table.set_align(0, rdmamon::util::Align::Left);
+
+  std::vector<std::string> labels;
+  for (int n : thread_counts) labels.push_back(std::to_string(n));
+  rdmamon::util::AsciiChart chart("monitoring latency (us, log-ish scale)",
+                                  labels);
+
+  for (monitor::Scheme s : monitor::kTransportSchemes) {
+    std::vector<std::string> row = {monitor::to_string(s)};
+    std::vector<double> ys;
+    for (int n : thread_counts) {
+      const double us = mean_latency_us(s, n, run);
+      row.push_back(num(us, 1));
+      ys.push_back(us);
+    }
+    table.add_row(row);
+    chart.add_series({monitor::to_string(s), ys});
+  }
+  std::cout << "\nMean monitoring latency (microseconds), T = 50 ms:\n";
+  rdmamon::bench::show(table);
+  rdmamon::bench::show(chart);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared helpers for the reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/chart.hpp"
+#include "util/table.hpp"
+
+namespace rdmamon::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& title,
+                   const std::string& paper_claim) {
+  std::cout << "==========================================================\n"
+            << id << ": " << title << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "==========================================================\n";
+}
+
+/// Prints a table followed by a chart.
+inline void show(const util::Table& table) { table.print(std::cout); }
+
+inline void show(const util::AsciiChart& chart) {
+  std::cout << chart.render() << '\n';
+}
+
+/// Formats a double with the given decimals (fixed).
+inline std::string num(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+/// Formats a percentage improvement relative to a baseline.
+inline std::string pct(double value, double baseline) {
+  if (baseline <= 0) return "n/a";
+  return num((value / baseline - 1.0) * 100.0, 1) + "%";
+}
+
+}  // namespace rdmamon::bench

@@ -1,0 +1,88 @@
+// Shared runner for the co-hosted RUBiS + Zipf experiments (Figs 7 and 9):
+// the paper's "cluster-based server hosting two web services" setup, in a
+// shared enterprise environment (transient co-hosted disturbances).
+#pragma once
+
+#include <memory>
+
+#include "web/cluster.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rdmamon::bench {
+
+struct MixedRunConfig {
+  monitor::Scheme scheme = monitor::Scheme::RdmaSync;
+  double alpha = 0.5;
+  sim::Duration lb_granularity = sim::msec(50);
+  sim::Duration run = sim::seconds(20);
+  sim::Duration warmup = sim::seconds(4);
+  sim::Duration think = sim::msec(3);
+  int rubis_client_nodes = 4;
+  int zipf_client_nodes = 4;
+  int server_workers = 16;
+  bool disturbances = true;
+  std::uint64_t seed = 42;
+};
+
+struct MixedRunResult {
+  double total_throughput = 0;  ///< completed requests / second
+  double rubis_throughput = 0;
+  double zipf_throughput = 0;
+  double mean_response_ms = 0;
+};
+
+inline MixedRunResult run_mixed_workload(const MixedRunConfig& mc) {
+  sim::Simulation simu;
+  web::ClusterConfig cfg;
+  cfg.backends = 8;
+  cfg.scheme = mc.scheme;
+  cfg.lb_granularity = mc.lb_granularity;
+  cfg.server.workers = mc.server_workers;
+  cfg.seed = mc.seed;
+  web::ClusterTestbed bed(simu, cfg);
+
+  web::ClientGroupConfig ccfg;
+  ccfg.threads_per_node = 16;
+  ccfg.think = mc.think;
+  web::ClientGroup& rubis = bed.add_clients(
+      mc.rubis_client_nodes, web::make_rubis_generator(), ccfg);
+
+  workload::ZipfTraceConfig zcfg;
+  zcfg.alpha = mc.alpha;
+  auto trace = std::make_shared<workload::ZipfTrace>(zcfg, mc.seed + 1);
+  web::ClientGroup& zipf = bed.add_clients(
+      mc.zipf_client_nodes, web::make_zipf_generator(trace), ccfg);
+
+  std::unique_ptr<os::Node> infra;
+  std::unique_ptr<workload::DisturbanceGenerator> disturb;
+  if (mc.disturbances) {
+    os::NodeConfig icfg;
+    icfg.name = "storage";
+    infra = std::make_unique<os::Node>(simu, icfg);
+    bed.fabric().attach(*infra);
+    disturb = std::make_unique<workload::DisturbanceGenerator>(
+        bed.fabric(), bed.backend_ptrs(), *infra,
+        workload::DisturbanceConfig{}, sim::Rng(mc.seed ^ 0x5eed));
+  }
+
+  simu.after(mc.warmup, [&] {
+    rubis.stats().reset();
+    zipf.stats().reset();
+  });
+  simu.run_for(mc.warmup + mc.run);
+
+  MixedRunResult out;
+  out.rubis_throughput = rubis.stats().throughput(mc.run);
+  out.zipf_throughput = zipf.stats().throughput(mc.run);
+  out.total_throughput = out.rubis_throughput + out.zipf_throughput;
+  const auto total_n =
+      rubis.stats().completed() + zipf.stats().completed();
+  if (total_n > 0) {
+    out.mean_response_ms =
+        (rubis.stats().overall().sum() + zipf.stats().overall().sum()) /
+        static_cast<double>(total_n) / 1e6;
+  }
+  return out;
+}
+
+}  // namespace rdmamon::bench

@@ -1,0 +1,98 @@
+// Admission control on top of the monitored load index — the paper's
+// motivating use-case ("systems rely on cluster resource usage information
+// for admission control; inaccurate information leads to lost revenue").
+// Compares how many requests the cluster admits under coarse socket-based
+// vs fine-grained RDMA-based monitoring at the same admission threshold.
+#include <iostream>
+
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "web/cluster.hpp"
+#include "workload/synthetic.hpp"
+
+using namespace rdmamon;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t admitted;
+  std::uint64_t rejected;
+  double completed_per_s;
+  double avg_ms;
+};
+
+Outcome run(monitor::Scheme scheme, sim::Duration granularity) {
+  sim::Simulation simu;
+  web::ClusterConfig cfg;
+  cfg.backends = 8;
+  cfg.scheme = scheme;
+  cfg.lb_granularity = granularity;
+  cfg.admission_threshold = 0.7;  // reject when the best server is hot
+  web::ClusterTestbed bed(simu, cfg);
+
+  web::ClientGroupConfig ccfg;
+  ccfg.threads_per_node = 12;
+  ccfg.think = sim::msec(5);  // offered load near saturation
+  web::ClientGroup& clients =
+      bed.add_clients(8, web::make_rubis_generator(), ccfg);
+
+  os::Node storage(simu, {.name = "storage"});
+  bed.fabric().attach(storage);
+  workload::DisturbanceGenerator disturbances(
+      bed.fabric(), bed.backend_ptrs(), storage, {}, sim::Rng(11));
+
+  simu.run_for(sim::seconds(10));
+  return Outcome{bed.admission()->admitted(), bed.admission()->rejected(),
+                 clients.stats().throughput(sim::seconds(10)),
+                 clients.stats().overall().mean() / 1e6};
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Admission control at threshold 0.7, offered load near "
+               "saturation (10 simulated seconds):\n\n";
+  util::Table t;
+  t.set_header({"scheme @ granularity", "admitted", "rejected",
+                "served req/s", "avg resp (ms)"});
+  t.set_align(0, util::Align::Left);
+
+  struct Case {
+    monitor::Scheme scheme;
+    sim::Duration g;
+    const char* label;
+  };
+  const Case cases[] = {
+      {monitor::Scheme::SocketAsync, sim::msec(1024),
+       "Socket-Async @ 1024ms (coarse)"},
+      {monitor::Scheme::SocketAsync, sim::msec(64),
+       "Socket-Async @ 64ms"},
+      {monitor::Scheme::RdmaSync, sim::msec(64), "RDMA-Sync @ 64ms"},
+      {monitor::Scheme::ERdmaSync, sim::msec(64), "e-RDMA-Sync @ 64ms"},
+  };
+  std::uint64_t coarse_admitted = 0, fine_admitted = 0;
+  for (const Case& c : cases) {
+    const Outcome o = run(c.scheme, c.g);
+    if (c.scheme == monitor::Scheme::SocketAsync &&
+        c.g == sim::msec(1024)) {
+      coarse_admitted = o.admitted;
+    }
+    if (c.scheme == monitor::Scheme::RdmaSync) fine_admitted = o.admitted;
+    t.add_row({c.label, std::to_string(o.admitted),
+               std::to_string(o.rejected),
+               util::format_double(o.completed_per_s, 0),
+               util::format_double(o.avg_ms, 1)});
+  }
+  t.print(std::cout);
+  if (coarse_admitted > 0) {
+    std::cout << "\nFine-grained RDMA-Sync admits "
+              << util::format_double(
+                     (static_cast<double>(fine_admitted) / coarse_admitted -
+                      1.0) *
+                         100.0,
+                     1)
+              << "% more requests than coarse socket-based monitoring "
+                 "(the paper reports up to 25%).\n";
+  }
+  return 0;
+}

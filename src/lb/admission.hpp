@@ -1,0 +1,37 @@
+// Admission control on top of the load index: the paper's motivating
+// use-case ("several systems rely on the cluster resource usage
+// information for admission control of requests"). A request is admitted
+// only if the least-loaded back end's index is below the threshold —
+// stale or inaccurate load data admits requests the cluster cannot
+// actually absorb (or rejects ones it could).
+#pragma once
+
+#include <cstdint>
+
+namespace rdmamon::lb {
+
+class LoadBalancer;
+
+class AdmissionController {
+ public:
+  /// `threshold` is compared against the picked back end's load index.
+  explicit AdmissionController(double threshold) : threshold_(threshold) {}
+
+  /// Decides for the given back-end pick; counts the outcome.
+  bool admit(double picked_load_index) {
+    const bool ok = picked_load_index < threshold_;
+    ++(ok ? admitted_ : rejected_);
+    return ok;
+  }
+
+  double threshold() const { return threshold_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+ private:
+  double threshold_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace rdmamon::lb

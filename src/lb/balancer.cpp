@@ -1,0 +1,102 @@
+#include "lb/balancer.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdmamon::lb {
+
+double load_index(const os::LoadSnapshot& info, const WeightConfig& w) {
+  const double net =
+      std::min(info.net_rate / w.net_capacity_bps, 1.0);
+  const double conn = std::min(
+      static_cast<double>(info.connections) / w.conn_capacity, 1.0);
+  const double runq = std::min(
+      static_cast<double>(info.nr_running) / w.runq_capacity, 1.0);
+  double idx = w.w_cpu * info.cpu_load + w.w_mem * info.mem_load +
+               w.w_net * net + w.w_conn * conn + w.w_runq * runq;
+  if (w.irq_penalty > 0.0) {
+    // Ordinary traffic keeps a pending interrupt or two in flight on a
+    // busy server; pressure beyond that indicates hidden load (deferred
+    // protocol work, interrupt storms) before it ever shows up in the
+    // run-queue or utilisation numbers.
+    const int excess = info.irq_pending_total() - 2;
+    if (excess > 0) idx += w.irq_penalty * excess;
+  }
+  return idx;
+}
+
+void LoadBalancer::add_backend(
+    std::unique_ptr<monitor::MonitorChannel> channel) {
+  channels_.push_back(std::move(channel));
+  samples_.emplace_back();
+  wrr_credit_.push_back(0.0);
+}
+
+void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
+  frontend.spawn("lb-poller", [this, granularity](os::SimThread& t) {
+    return poller_body(t, granularity);
+  });
+}
+
+os::Program LoadBalancer::poller_body(os::SimThread& self,
+                                      sim::Duration granularity) {
+  // Sequential sweep over the back ends every `granularity`, like the
+  // paper's front-end monitoring process. If fetches are slow (loaded
+  // socket schemes), the sweep itself delays refreshes further — a real
+  // effect we deliberately keep.
+  for (;;) {
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      monitor::MonitorSample s;
+      co_await channels_[i]->frontend().fetch(self, s);
+      if (s.ok) {
+        samples_[i] = s;
+        fetch_lat_.add(static_cast<double>(s.latency().ns));
+      }
+    }
+    co_await os::SleepFor{granularity};
+  }
+}
+
+int LoadBalancer::pick() {
+  assert(!channels_.empty());
+  const int n = backends();
+  // Smooth weighted round-robin (nginx-style): every pick adds each
+  // server's weight to its credit, the highest credit wins and pays back
+  // the total. Deterministic, spreads proportionally, avoids dog-piling.
+  constexpr double kFloor = 0.02;
+  double total = 0.0;
+  int winner = -1;
+  bool any_ok = false;
+  for (int i = 0; i < n; ++i) {
+    if (index_of(i) < weights_.overload_cutoff) {
+      any_ok = true;
+      break;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    const double idx = index_of(i);
+    // Overloaded servers leave the rotation while at least one healthy
+    // server remains.
+    const double w = (any_ok && idx >= weights_.overload_cutoff)
+                         ? 0.0
+                         : std::max(kFloor, 1.0 - idx);
+    wrr_credit_[static_cast<std::size_t>(i)] += w;
+    total += w;
+    if (w > 0.0 &&
+        (winner < 0 || wrr_credit_[static_cast<std::size_t>(i)] >
+                           wrr_credit_[static_cast<std::size_t>(winner)])) {
+      winner = i;
+    }
+  }
+  if (winner < 0) winner = 0;
+  wrr_credit_[static_cast<std::size_t>(winner)] -= total;
+  return winner;
+}
+
+double LoadBalancer::index_of(int backend) const {
+  const auto& s = samples_[static_cast<std::size_t>(backend)];
+  if (!s.ok) return 0.0;  // no data yet: assume idle
+  return load_index(s.info, weights_);
+}
+
+}  // namespace rdmamon::lb

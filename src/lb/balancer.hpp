@@ -1,0 +1,94 @@
+// WebSphere-style weighted load balancing (Section 5.2.1): CPU, memory,
+// network and connection load indices are combined into one scalar; the
+// dispatcher forwards each request to the least-loaded back end. The
+// e-RDMA-Sync scheme additionally penalises back ends with pending
+// interrupts (hidden load the classic indices miss).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "monitor/scheme.hpp"
+#include "os/node.hpp"
+#include "sim/time.hpp"
+
+namespace rdmamon::lb {
+
+/// Weights of the combined load index.
+struct WeightConfig {
+  double w_cpu = 0.30;
+  double w_mem = 0.10;
+  double w_net = 0.10;
+  double w_conn = 0.10;
+  /// Weight of the instantaneous run-queue length (nr_running). This is
+  /// the fastest-moving component of the index — the signal whose
+  /// staleness separates the schemes (the utilisation EMA is smoothed by
+  /// construction, run-queue length is not).
+  double w_runq = 0.50;
+  /// Added per pending interrupt (e-RDMA-Sync only; 0 elsewhere).
+  double irq_penalty = 0.0;
+  /// Normalisers.
+  double net_capacity_bps = 1.25e9;
+  int conn_capacity = 128;
+  int runq_capacity = 8;  ///< runnable threads considered "saturated"
+
+  /// A server whose index reaches this is treated as overloaded and gets
+  /// zero weight (unless every server is overloaded) — the WebSphere
+  /// behaviour of taking a hot server out of rotation entirely.
+  double overload_cutoff = 0.75;
+
+  /// Defaults for a scheme: e-RDMA-Sync turns the IRQ term on.
+  static WeightConfig for_scheme(monitor::Scheme s) {
+    WeightConfig w;
+    if (s == monitor::Scheme::ERdmaSync) w.irq_penalty = 0.15;
+    return w;
+  }
+};
+
+/// Scalar load index of one snapshot (higher = more loaded).
+double load_index(const os::LoadSnapshot& info, const WeightConfig& w);
+
+/// Tracks the latest monitoring sample per back end and picks the least
+/// loaded. A poller thread on the front-end node refreshes the samples
+/// every `granularity` — through the configured scheme, so the data is
+/// exactly as fresh (or stale, or costly) as that scheme makes it.
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(WeightConfig weights) : weights_(weights) {}
+
+  /// Registers a back end via its monitoring channel.
+  void add_backend(std::unique_ptr<monitor::MonitorChannel> channel);
+
+  /// Spawns the front-end poller thread. Call once after add_backend.
+  void start(os::Node& frontend, sim::Duration granularity);
+
+  /// Picks the next back end by smooth weighted round-robin over
+  /// per-server weights w_i = max(floor, 1 - load_index_i), the WebSphere
+  /// behaviour the paper references: servers reporting low load receive
+  /// proportionally more requests; a server whose (fresh) index spikes is
+  /// avoided almost entirely until it recovers. Stale indices keep
+  /// feeding the hotspot — the failure mode fine-grained monitoring fixes.
+  int pick();
+
+  int backends() const { return static_cast<int>(channels_.size()); }
+  double index_of(int backend) const;
+  const monitor::MonitorSample& last_sample(int backend) const {
+    return samples_[static_cast<std::size_t>(backend)];
+  }
+  const WeightConfig& weights() const { return weights_; }
+
+  /// Mean observed refresh latency (monitoring fetch) per back end.
+  const sim::OnlineStats& fetch_latency_ns() const { return fetch_lat_; }
+
+ private:
+  os::Program poller_body(os::SimThread& self, sim::Duration granularity);
+
+  WeightConfig weights_;
+  std::vector<std::unique_ptr<monitor::MonitorChannel>> channels_;
+  std::vector<monitor::MonitorSample> samples_;
+  std::vector<double> wrr_credit_;  // smooth weighted-RR state
+  sim::OnlineStats fetch_lat_;
+};
+
+}  // namespace rdmamon::lb

@@ -1,0 +1,71 @@
+#include "lb/dispatcher.hpp"
+
+#include <any>
+
+namespace rdmamon::lb {
+
+Dispatcher::Dispatcher(net::Fabric& fabric, os::Node& frontend,
+                       LoadBalancer& lb, DispatcherConfig cfg)
+    : fabric_(&fabric), frontend_(&frontend), lb_(&lb), cfg_(cfg) {}
+
+void Dispatcher::add_backend(web::WebServer& server) {
+  net::Connection& conn = fabric_->connect(*frontend_, server.node());
+  backend_socks_.push_back(&conn.end_a());
+  per_backend_.push_back(0);
+  server.listen(conn.end_b());
+  frontend_->spawn("disp-router" + std::to_string(backend_socks_.size()),
+                   [this, sock = &conn.end_a()](os::SimThread& t) {
+                     return router_body(t, sock);
+                   });
+}
+
+net::Socket& Dispatcher::add_client(os::Node& client_node) {
+  net::Connection& conn = fabric_->connect(client_node, *frontend_);
+  frontend_->spawn("disp-fwd" + std::to_string(pending_.size()),
+                   [this, sock = &conn.end_b()](os::SimThread& t) {
+                     return forwarder_body(t, sock);
+                   });
+  return conn.end_a();
+}
+
+os::Program Dispatcher::forwarder_body(os::SimThread& self,
+                                       net::Socket* from_client) {
+  for (;;) {
+    net::Message m;
+    co_await from_client->recv(self, m);
+    web::Request req = std::any_cast<web::Request>(m.payload);
+    co_await os::Compute{cfg_.dispatch_cpu};
+    const int backend = lb_->pick();
+    if (admission_ != nullptr &&
+        !admission_->admit(lb_->index_of(backend))) {
+      ++rejected_;
+      web::Reply rej;
+      rej.id = req.id;
+      rej.query_class = req.query_class;
+      rej.rejected = true;
+      co_await from_client->send(self, 256, rej);
+      continue;
+    }
+    pending_[req.id] = from_client;
+    ++forwarded_;
+    ++per_backend_[static_cast<std::size_t>(backend)];
+    co_await backend_socks_[static_cast<std::size_t>(backend)]->send(
+        self, req.request_bytes, req);
+  }
+}
+
+os::Program Dispatcher::router_body(os::SimThread& self,
+                                    net::Socket* from_backend) {
+  for (;;) {
+    net::Message m;
+    co_await from_backend->recv(self, m);
+    const web::Reply reply = std::any_cast<web::Reply>(m.payload);
+    auto it = pending_.find(reply.id);
+    if (it == pending_.end()) continue;  // duplicate/late; drop
+    net::Socket* to_client = it->second;
+    pending_.erase(it);
+    co_await to_client->send(self, m.bytes, reply);
+  }
+}
+
+}  // namespace rdmamon::lb

@@ -1,0 +1,65 @@
+// Front-end request dispatcher: relays client requests to the back end the
+// LoadBalancer picks, and routes replies back. One forwarder thread per
+// client connection, one reply-router thread per back-end connection.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "lb/admission.hpp"
+#include "lb/balancer.hpp"
+#include "net/fabric.hpp"
+#include "net/socket.hpp"
+#include "os/node.hpp"
+#include "web/request.hpp"
+#include "web/server.hpp"
+
+namespace rdmamon::lb {
+
+struct DispatcherConfig {
+  /// CPU spent routing one request (parse + table ops).
+  sim::Duration dispatch_cpu = sim::usec(15);
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(net::Fabric& fabric, os::Node& frontend, LoadBalancer& lb,
+             DispatcherConfig cfg = {});
+
+  /// Connects the dispatcher to a back-end web server (also makes the
+  /// server listen on the new connection).
+  void add_backend(web::WebServer& server);
+
+  /// Creates a connection from `client_node` to the dispatcher; returns
+  /// the client-side endpoint to send Requests on.
+  net::Socket& add_client(os::Node& client_node);
+
+  /// Optional admission control (owned by caller; nullptr = admit all).
+  void set_admission(AdmissionController* adm) { admission_ = adm; }
+
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t rejected() const { return rejected_; }
+  /// Requests forwarded to each back end (balance quality metric).
+  const std::vector<std::uint64_t>& per_backend() const {
+    return per_backend_;
+  }
+
+ private:
+  os::Program forwarder_body(os::SimThread& self, net::Socket* from_client);
+  os::Program router_body(os::SimThread& self, net::Socket* from_backend);
+
+  net::Fabric* fabric_;
+  os::Node* frontend_;
+  LoadBalancer* lb_;
+  DispatcherConfig cfg_;
+  AdmissionController* admission_ = nullptr;
+
+  std::vector<net::Socket*> backend_socks_;
+  std::unordered_map<std::uint64_t, net::Socket*> pending_;  // id -> client
+  std::vector<std::uint64_t> per_backend_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace rdmamon::lb

@@ -1,0 +1,43 @@
+// Accuracy bookkeeping for the Fig 5 experiments: deviation of reported
+// load values from the kernel ground truth at the moment of retrieval.
+#pragma once
+
+#include <cstdlib>
+
+#include "monitor/monitor.hpp"
+#include "sim/stats.hpp"
+
+namespace rdmamon::monitor {
+
+/// Accumulates |reported - truth| for the two Fig 5 metrics.
+class AccuracyTracker {
+ public:
+  /// Records one sample against the ground truth taken at retrieval time.
+  void record(const MonitorSample& sample, const os::LoadSnapshot& truth) {
+    if (!sample.ok) return;
+    nr_running_dev_.add(
+        std::abs(sample.info.nr_running - truth.nr_running));
+    cpu_load_dev_.add(std::abs(sample.info.cpu_load - truth.cpu_load));
+    staleness_ms_.add(sample.staleness().millis());
+    latency_ms_.add(sample.latency().millis());
+  }
+
+  /// Mean absolute deviation of the reported runnable-thread count (Fig 5a).
+  const sim::OnlineStats& nr_running_deviation() const {
+    return nr_running_dev_;
+  }
+  /// Mean absolute deviation of the reported CPU load (Fig 5b).
+  const sim::OnlineStats& cpu_load_deviation() const {
+    return cpu_load_dev_;
+  }
+  const sim::OnlineStats& staleness_ms() const { return staleness_ms_; }
+  const sim::OnlineStats& latency_ms() const { return latency_ms_; }
+
+ private:
+  sim::OnlineStats nr_running_dev_;
+  sim::OnlineStats cpu_load_dev_;
+  sim::OnlineStats staleness_ms_;
+  sim::OnlineStats latency_ms_;
+};
+
+}  // namespace rdmamon::monitor

@@ -1,0 +1,149 @@
+#include "monitor/monitor.hpp"
+
+#include <any>
+#include <cassert>
+
+namespace rdmamon::monitor {
+
+namespace {
+
+/// Load-calculating thread (Fig 1a / 2a, steps 1-4): read /proc, copy the
+/// result to the shared location, sleep T, repeat.
+os::Program calc_thread_body(os::SimThread& self, os::Node* node,
+                             os::LoadSnapshot* slot, sim::Duration period) {
+  for (;;) {
+    co_await os::ComputeKernel{node->procfs().read_cost()};
+    *slot = node->procfs().snapshot();
+    // Copying into the known memory location / registered region.
+    co_await os::Compute{sim::usec(1)};
+    co_await os::SleepFor{period};
+  }
+  (void)self;
+}
+
+/// Load-reporting thread for Socket-Async (Fig 1a, steps a-c): serve each
+/// request from the shared location without touching /proc.
+os::Program report_async_body(os::SimThread& self, net::Socket* sock,
+                              os::LoadSnapshot* slot,
+                              std::size_t reply_bytes) {
+  for (;;) {
+    net::Message req;
+    co_await sock->recv(self, req);
+    co_await os::Compute{sim::usec(1)};  // read the known memory location
+    co_await sock->send(self, reply_bytes, *slot);
+  }
+}
+
+/// Socket-Sync back-end thread (Fig 1b): compute fresh load per request.
+os::Program report_sync_body(os::SimThread& self, os::Node* node,
+                             net::Socket* sock, std::size_t reply_bytes) {
+  for (;;) {
+    net::Message req;
+    co_await sock->recv(self, req);
+    co_await os::ComputeKernel{node->procfs().read_cost()};
+    co_await sock->send(self, reply_bytes, node->procfs().snapshot());
+  }
+}
+
+}  // namespace
+
+BackendMonitor::BackendMonitor(net::Fabric& fabric, os::Node& backend,
+                               MonitorConfig cfg)
+    : fabric_(fabric), backend_(backend), cfg_(cfg) {
+  if (has_calc_thread(cfg_.scheme)) {
+    calc_thread_ = backend_.spawn(
+        "mon-calc", [this](os::SimThread& t) {
+          return calc_thread_body(t, &backend_, &slot_, cfg_.period);
+        });
+  }
+  if (is_rdma(cfg_.scheme)) {
+    net::Nic& nic = fabric_.nic(backend_.id);
+    if (is_kernel_direct(cfg_.scheme)) {
+      // RDMA-Sync / e-RDMA-Sync: register the kernel statistics pages;
+      // a remote READ samples them at the DMA instant with zero back-end
+      // CPU involvement — including the transient irq_stat state that a
+      // synchronized /proc read can never observe. Read-only, per the
+      // paper's security argument.
+      mr_key_ = nic.register_mr(cfg_.reply_bytes, [node = &backend_] {
+        return std::any(node->procfs().snapshot_dma());
+      });
+    } else {
+      // RDMA-Async: register the user-space slot the calc thread updates.
+      mr_key_ = nic.register_mr(cfg_.reply_bytes, [slot = &slot_] {
+        return std::any(*slot);
+      });
+    }
+  }
+}
+
+BackendMonitor::~BackendMonitor() = default;
+
+void BackendMonitor::bind_socket(net::Socket& server_end) {
+  assert(has_report_thread(cfg_.scheme));
+  if (cfg_.scheme == Scheme::SocketAsync) {
+    report_thread_ = backend_.spawn(
+        "mon-report", [this, sock = &server_end](os::SimThread& t) {
+          return report_async_body(t, sock, &slot_, cfg_.reply_bytes);
+        });
+  } else {
+    report_thread_ = backend_.spawn(
+        "mon-report", [this, sock = &server_end](os::SimThread& t) {
+          return report_sync_body(t, &backend_, sock, cfg_.reply_bytes);
+        });
+  }
+}
+
+void BackendMonitor::stop() {
+  if (calc_thread_) backend_.sched().kill(calc_thread_);
+  if (report_thread_) backend_.sched().kill(report_thread_);
+  calc_thread_ = report_thread_ = nullptr;
+}
+
+FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
+                                 BackendMonitor& backend,
+                                 net::Socket* client_end)
+    : backend_(&backend), sock_(client_end) {
+  if (is_rdma(backend.config().scheme)) {
+    qp_.emplace(fabric.nic(frontend.id), backend.node().id, cq_);
+  } else {
+    assert(client_end != nullptr &&
+           "socket schemes need the monitoring connection's client end");
+  }
+}
+
+os::Program FrontendMonitor::fetch(os::SimThread& self, MonitorSample& out) {
+  out = MonitorSample{};
+  out.requested_at = self.node().simu().now();
+  const MonitorConfig& cfg = backend_->config();
+  if (is_rdma(cfg.scheme)) {
+    net::Completion c;
+    co_await net::rdma_read_sync(self, *qp_, backend_->mr_key(),
+                                 cfg.reply_bytes, c);
+    if (c.status == net::WcStatus::Success) {
+      out.info = std::any_cast<os::LoadSnapshot>(c.data);
+      out.ok = true;
+    }
+  } else {
+    co_await sock_->send(self, cfg.request_bytes, std::any{});
+    net::Message reply;
+    co_await sock_->recv(self, reply);
+    out.info = std::any_cast<os::LoadSnapshot>(reply.payload);
+    out.ok = true;
+  }
+  out.retrieved_at = self.node().simu().now();
+}
+
+MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,
+                               os::Node& backend, MonitorConfig cfg) {
+  backend_monitor_ = std::make_unique<BackendMonitor>(fabric, backend, cfg);
+  net::Socket* client_end = nullptr;
+  if (!is_rdma(cfg.scheme)) {
+    conn_ = &fabric.connect(frontend, backend);
+    backend_monitor_->bind_socket(conn_->end_b());
+    client_end = &conn_->end_a();
+  }
+  frontend_monitor_ = std::make_unique<FrontendMonitor>(
+      fabric, frontend, *backend_monitor_, client_end);
+}
+
+}  // namespace rdmamon::monitor

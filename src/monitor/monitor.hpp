@@ -1,0 +1,122 @@
+// The monitoring service itself: back-end side (daemons / registered
+// regions per scheme) and front-end side (the fetch primitive). This is
+// the paper's primary contribution, built on the os/net substrates.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "monitor/scheme.hpp"
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "net/socket.hpp"
+#include "net/verbs.hpp"
+#include "os/node.hpp"
+#include "os/procfs.hpp"
+
+namespace rdmamon::monitor {
+
+/// Tuning for one monitoring channel.
+struct MonitorConfig {
+  Scheme scheme = Scheme::RdmaSync;
+  /// T: the async schemes' back-end update period (the paper uses 50 ms
+  /// unless stated otherwise).
+  sim::Duration period = sim::msec(50);
+  std::size_t request_bytes = 64;   ///< socket load-request size
+  std::size_t reply_bytes = 256;    ///< load-info record size on the wire
+};
+
+/// One load reading obtained by the front end, with the timing needed for
+/// the latency/staleness/accuracy analyses.
+struct MonitorSample {
+  os::LoadSnapshot info;
+  sim::TimePoint requested_at{};
+  sim::TimePoint retrieved_at{};
+  bool ok = false;
+
+  /// Front-end observed fetch latency.
+  sim::Duration latency() const { return retrieved_at - requested_at; }
+  /// Age of the data at retrieval (asynchrony + transport delay).
+  sim::Duration staleness() const {
+    return retrieved_at - info.computed_at;
+  }
+};
+
+/// Back-end half: spawns the scheme's daemon threads (if any) and/or
+/// registers the scheme's memory region on the back-end NIC.
+class BackendMonitor {
+ public:
+  BackendMonitor(net::Fabric& fabric, os::Node& backend, MonitorConfig cfg);
+  ~BackendMonitor();
+
+  BackendMonitor(const BackendMonitor&) = delete;
+  BackendMonitor& operator=(const BackendMonitor&) = delete;
+
+  /// Socket schemes: attaches the server endpoint the reporting thread
+  /// serves requests from. Must be called before the simulation runs.
+  void bind_socket(net::Socket& server_end);
+
+  /// RDMA schemes: the rkey the front end reads.
+  net::MrKey mr_key() const { return mr_key_; }
+
+  /// Kills the back-end daemon threads (tear-down in sweep experiments).
+  void stop();
+
+  os::Node& node() { return backend_; }
+  const MonitorConfig& config() const { return cfg_; }
+
+ private:
+  net::Fabric& fabric_;
+  os::Node& backend_;
+  MonitorConfig cfg_;
+  os::LoadSnapshot slot_;  ///< user-space shared location (async schemes)
+  net::MrKey mr_key_{};
+  os::SimThread* calc_thread_ = nullptr;
+  os::SimThread* report_thread_ = nullptr;
+};
+
+/// Front-end half: issues fetches against one back end.
+class FrontendMonitor {
+ public:
+  /// `client_end` is required for socket schemes, ignored for RDMA ones.
+  FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
+                  BackendMonitor& backend, net::Socket* client_end);
+
+  /// Subprogram: one load fetch; fills `out`. Socket schemes do a
+  /// request/response over the monitoring connection; RDMA schemes do a
+  /// one-sided READ (kernel region for *-Sync, user region for Async).
+  os::Program fetch(os::SimThread& self, MonitorSample& out);
+
+  Scheme scheme() const { return backend_->config().scheme; }
+  int backend_node_id() const { return backend_->node().id; }
+
+  /// Ground truth at this instant, straight from the back end's kernel
+  /// (the paper's fine-grained kernel module). For accuracy analysis only.
+  os::LoadSnapshot ground_truth() const {
+    return backend_->node().procfs().snapshot();
+  }
+
+ private:
+  BackendMonitor* backend_;
+  net::Socket* sock_ = nullptr;
+  net::CompletionQueue cq_;
+  std::optional<net::QueuePair> qp_;
+};
+
+/// Convenience bundle: wires a complete monitoring channel (connection for
+/// socket schemes, QP/MR for RDMA) between a front-end and a back-end node.
+class MonitorChannel {
+ public:
+  MonitorChannel(net::Fabric& fabric, os::Node& frontend, os::Node& backend,
+                 MonitorConfig cfg);
+
+  FrontendMonitor& frontend() { return *frontend_monitor_; }
+  BackendMonitor& backend() { return *backend_monitor_; }
+
+ private:
+  std::unique_ptr<BackendMonitor> backend_monitor_;
+  net::Connection* conn_ = nullptr;  // owned by the fabric
+  std::unique_ptr<FrontendMonitor> frontend_monitor_;
+};
+
+}  // namespace rdmamon::monitor

@@ -1,0 +1,60 @@
+// The five resource-monitoring schemes the paper compares (Section 3).
+#pragma once
+
+#include <array>
+#include <string>
+
+namespace rdmamon::monitor {
+
+enum class Scheme {
+  SocketAsync,  ///< 2 back-end threads: load-calculating (period T) + reporting
+  SocketSync,   ///< 1 back-end thread: reads /proc per request
+  RdmaAsync,    ///< back-end thread updates a registered user buffer every T
+  RdmaSync,     ///< RDMA READ of registered kernel memory; no back-end thread
+  ERdmaSync,    ///< RdmaSync + pending-interrupt info used in load balancing
+};
+
+inline constexpr std::array<Scheme, 5> kAllSchemes = {
+    Scheme::SocketAsync, Scheme::SocketSync, Scheme::RdmaAsync,
+    Scheme::RdmaSync, Scheme::ERdmaSync};
+
+/// The four transport-distinct schemes (e-RDMA-Sync shares RdmaSync's
+/// transport; it differs only in how the balancer uses the data).
+inline constexpr std::array<Scheme, 4> kTransportSchemes = {
+    Scheme::SocketAsync, Scheme::SocketSync, Scheme::RdmaAsync,
+    Scheme::RdmaSync};
+
+inline const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::SocketAsync: return "Socket-Async";
+    case Scheme::SocketSync: return "Socket-Sync";
+    case Scheme::RdmaAsync: return "RDMA-Async";
+    case Scheme::RdmaSync: return "RDMA-Sync";
+    case Scheme::ERdmaSync: return "e-RDMA-Sync";
+  }
+  return "?";
+}
+
+/// True for schemes whose transport is one-sided RDMA READ.
+inline bool is_rdma(Scheme s) {
+  return s == Scheme::RdmaAsync || s == Scheme::RdmaSync ||
+         s == Scheme::ERdmaSync;
+}
+
+/// True for schemes that need a periodic load-calculating thread on the
+/// back-end (everything except RDMA-Sync / e-RDMA-Sync).
+inline bool has_calc_thread(Scheme s) {
+  return s == Scheme::SocketAsync || s == Scheme::RdmaAsync;
+}
+
+/// True for schemes that need a request-serving thread on the back-end.
+inline bool has_report_thread(Scheme s) {
+  return s == Scheme::SocketAsync || s == Scheme::SocketSync;
+}
+
+/// True when the fetched snapshot is exact at retrieval (kernel-direct).
+inline bool is_kernel_direct(Scheme s) {
+  return s == Scheme::RdmaSync || s == Scheme::ERdmaSync;
+}
+
+}  // namespace rdmamon::monitor

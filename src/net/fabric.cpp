@@ -1,0 +1,53 @@
+#include "net/fabric.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "net/nic.hpp"
+#include "net/socket.hpp"
+#include "os/node.hpp"
+
+namespace rdmamon::net {
+
+Fabric::Fabric(sim::Simulation& simu, FabricConfig cfg)
+    : simu_(simu), cfg_(cfg) {}
+
+Fabric::~Fabric() = default;
+
+Nic& Fabric::attach(os::Node& node) {
+  node.id = static_cast<int>(nodes_.size());
+  nodes_.push_back(&node);
+  nics_.push_back(std::make_unique<Nic>(*this, node));
+  return *nics_.back();
+}
+
+Nic& Fabric::nic(int node_id) {
+  return *nics_.at(static_cast<std::size_t>(node_id));
+}
+
+os::Node& Fabric::node(int node_id) {
+  return *nodes_.at(static_cast<std::size_t>(node_id));
+}
+
+Connection& Fabric::connect(os::Node& a, os::Node& b) {
+  if (a.id < 0 || b.id < 0) {
+    throw std::logic_error("Fabric::connect: attach both nodes first");
+  }
+  conns_.push_back(std::make_unique<Connection>(
+      *this, a, b, static_cast<std::uint64_t>(conns_.size())));
+  return *conns_.back();
+}
+
+void Fabric::ship(Message msg) {
+  // Propagation through the non-blocking switch.
+  simu_.after(cfg_.prop_latency, [this, msg = std::move(msg)] {
+    nic(msg.dst_node).rx(msg);
+  });
+}
+
+void Fabric::deliver_to_socket(const Message& msg) {
+  Connection& c = *conns_.at(static_cast<std::size_t>(msg.conn));
+  c.endpoint(msg.dst_side).deliver(msg);
+}
+
+}  // namespace rdmamon::net

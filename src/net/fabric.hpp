@@ -1,0 +1,102 @@
+// The cluster interconnect: a non-blocking switch connecting every node's
+// NIC (the paper's InfiniScale switch + InfiniHost HCAs), plus the
+// connection registry for the socket layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/message.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace rdmamon::os {
+class Node;
+}
+
+namespace rdmamon::net {
+
+class Nic;
+class Connection;
+
+/// Interconnect timing/behaviour knobs. Defaults approximate a 4x IB fabric
+/// of the paper's era: ~1.25 GB/s links, microsecond-scale switch+wire
+/// latency, RDMA READ service a few microseconds.
+struct FabricConfig {
+  /// One-way propagation (wire + switch) latency.
+  sim::Duration prop_latency = sim::usec(1);
+
+  /// Link bandwidth in bytes/second (serialisation on the TX link).
+  double bandwidth_bps = 1.25e9;
+
+  /// Target-NIC DMA engine: fixed service cost per RDMA op...
+  sim::Duration rdma_dma_base = sim::usec(3);
+  /// ...plus per-byte cost of reading/writing host memory.
+  double rdma_dma_per_byte_ns = 0.8;
+
+  /// User-space cost of posting a work request (doorbell write).
+  sim::Duration rdma_post_cost = sim::nsec(300);
+
+  /// Socket path kernel costs (IPoIB-era protocol stack).
+  sim::Duration socket_send_cost = sim::usec(8);
+  sim::Duration socket_recv_cost = sim::usec(4);
+  /// Per-byte copy cost for socket send/recv.
+  double socket_copy_per_byte_ns = 0.2;
+
+  /// Size of the RDMA READ request packet on the wire.
+  std::size_t rdma_request_bytes = 32;
+
+  /// CPU that takes NetRx interrupts (-1 = round robin). The paper-era
+  /// default routes the HCA's interrupts to the second CPU.
+  int rx_irq_cpu = 1;
+
+  sim::Duration wire_delay(std::size_t bytes) const {
+    return prop_latency +
+           sim::nsec(static_cast<std::int64_t>(
+               static_cast<double>(bytes) / bandwidth_bps * 1e9));
+  }
+};
+
+/// Owns the NICs and the message-in-flight bookkeeping. Nodes are created
+/// by the caller (they carry their own OS config) and attached here.
+class Fabric {
+ public:
+  Fabric(sim::Simulation& simu, FabricConfig cfg);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Creates a NIC for `node` and assigns node.id. Returns the NIC.
+  Nic& attach(os::Node& node);
+
+  Nic& nic(int node_id);
+  os::Node& node(int node_id);
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Establishes a socket connection between two attached nodes.
+  /// Setup handshake latency is not modelled (connections are created
+  /// during experiment wiring); both nodes' connection counters bump.
+  Connection& connect(os::Node& a, os::Node& b);
+
+  /// Ships a two-sided message: propagation delay, then the destination
+  /// NIC's receive path (called by Nic after TX serialisation).
+  void ship(Message msg);
+
+  /// Routes a delivered message to its connection endpoint (called by the
+  /// destination NIC once protocol processing has been paid).
+  void deliver_to_socket(const Message& msg);
+
+  sim::Simulation& simu() { return simu_; }
+  const FabricConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulation& simu_;
+  FabricConfig cfg_;
+  std::vector<os::Node*> nodes_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace rdmamon::net

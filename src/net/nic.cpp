@@ -1,0 +1,169 @@
+#include "net/nic.hpp"
+
+#include <utility>
+
+namespace rdmamon::net {
+
+Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {}
+
+// --- two-sided ----------------------------------------------------------------
+
+void Nic::tx(Message msg) {
+  ++tx_packets_;
+  sim::Simulation& simu = fabric_.simu();
+  node_.stats().on_net_bytes(msg.bytes, simu.now());
+  // FIFO serialisation on the TX link.
+  const sim::TimePoint start =
+      tx_busy_ > simu.now() ? tx_busy_ : simu.now();
+  const sim::Duration ser = sim::nsec(static_cast<std::int64_t>(
+      static_cast<double>(msg.bytes) / fabric_.config().bandwidth_bps * 1e9));
+  tx_busy_ = start + ser;
+  simu.at(tx_busy_, [this, msg = std::move(msg)] { fabric_.ship(msg); });
+}
+
+int Nic::pick_rx_cpu() {
+  const int fixed = fabric_.config().rx_irq_cpu;
+  const int ncpus = node_.config().cpus;
+  if (fixed >= 0 && fixed < ncpus) return fixed;
+  rr_cpu_ = (rr_cpu_ + 1) % ncpus;
+  return rr_cpu_;
+}
+
+void Nic::rx(Message msg) {
+  ++rx_packets_;
+  sim::Simulation& simu = fabric_.simu();
+  node_.stats().on_net_bytes(msg.bytes, simu.now());
+  const int cpu = pick_rx_cpu();
+  os::IrqController& irq = node_.irq();
+  const os::NodeConfig& ncfg = node_.config();
+  // Keep-up heuristic: protocol processing runs inline in IRQ context
+  // while the receive path is keeping up (short HW queue, empty softirq
+  // backlog); otherwise only the ack runs in the handler and the packet is
+  // deferred to ksoftirqd — which competes with runnable threads.
+  const bool inline_ok =
+      irq.softirq_backlog(cpu) == 0 &&
+      irq.pending_hard(cpu, os::IrqType::NetRx) < ncfg.rx_inline_budget;
+  if (inline_ok) {
+    irq.raise(
+        cpu, os::IrqType::NetRx,
+        [this, msg] { fabric_.deliver_to_socket(msg); },
+        /*extra_cost=*/ncfg.softirq_packet_cost);
+  } else {
+    ++rx_deferred_;
+    irq.raise(cpu, os::IrqType::NetRx, [this, cpu, msg,
+                                        cost = ncfg.softirq_packet_cost] {
+      node_.irq().raise_softirq(
+          cpu, os::SoftirqItem{
+                   cost, [this, msg] { fabric_.deliver_to_socket(msg); }});
+    });
+  }
+}
+
+// --- one-sided ------------------------------------------------------------------
+
+MrKey Nic::register_mr(std::size_t bytes, std::function<std::any()> reader,
+                       bool remote_writable,
+                       std::function<void(const std::any&)> writer) {
+  MemoryRegion mr;
+  mr.rkey = next_rkey_++;
+  mr.bytes = bytes;
+  mr.remote_writable = remote_writable;
+  mr.reader = std::move(reader);
+  mr.writer = std::move(writer);
+  const MrKey key{mr.rkey};
+  regions_.emplace(mr.rkey, std::move(mr));
+  return key;
+}
+
+void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
+                    std::uint64_t wr_id,
+                    std::function<void(Completion)> done) {
+  sim::Simulation& simu = fabric_.simu();
+  const FabricConfig& cfg = fabric_.config();
+  Completion c;
+  c.wr_id = wr_id;
+  c.posted = simu.now();
+  // Request packet to the target NIC.
+  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes);
+  Nic& target = fabric_.nic(target_node);
+  simu.after(req, [&target, this, rkey, len, c,
+                   done = std::move(done)]() mutable {
+    sim::Simulation& s = fabric_.simu();
+    const FabricConfig& fc = fabric_.config();
+    auto it = target.regions_.find(rkey.key);
+    // DMA engine serialisation at the target NIC.
+    const sim::TimePoint start =
+        target.dma_busy_ > s.now() ? target.dma_busy_ : s.now();
+    const sim::Duration service =
+        fc.rdma_dma_base +
+        sim::nsec(static_cast<std::int64_t>(
+            static_cast<double>(len) * fc.rdma_dma_per_byte_ns));
+    target.dma_busy_ = start + service;
+    s.at(target.dma_busy_, [&target, this, it, len, c,
+                            done = std::move(done)]() mutable {
+      ++target.rdma_served_;
+      if (it == target.regions_.end()) {
+        c.status = WcStatus::InvalidKey;
+      } else if (it->second.reader) {
+        // THE key semantic: the content is sampled at the DMA instant.
+        c.data = it->second.reader();
+      }
+      // Response back to the initiator.
+      const sim::Duration resp = fabric_.config().wire_delay(len);
+      fabric_.simu().after(resp, [this, c = std::move(c),
+                                  done = std::move(done)]() mutable {
+        c.completed = fabric_.simu().now();
+        done(std::move(c));
+      });
+    });
+  });
+}
+
+void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
+                     std::size_t len, std::uint64_t wr_id,
+                     std::function<void(Completion)> done) {
+  sim::Simulation& simu = fabric_.simu();
+  const FabricConfig& cfg = fabric_.config();
+  Completion c;
+  c.wr_id = wr_id;
+  c.posted = simu.now();
+  // Write carries the payload with the request.
+  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes + len);
+  Nic& target = fabric_.nic(target_node);
+  simu.after(req, [&target, this, rkey, len, c, value = std::move(value),
+                   done = std::move(done)]() mutable {
+    sim::Simulation& s = fabric_.simu();
+    const FabricConfig& fc = fabric_.config();
+    const sim::TimePoint start =
+        target.dma_busy_ > s.now() ? target.dma_busy_ : s.now();
+    const sim::Duration service =
+        fc.rdma_dma_base +
+        sim::nsec(static_cast<std::int64_t>(
+            static_cast<double>(len) * fc.rdma_dma_per_byte_ns));
+    target.dma_busy_ = start + service;
+    s.at(target.dma_busy_, [&target, this, rkey, c, value = std::move(value),
+                            done = std::move(done)]() mutable {
+      ++target.rdma_served_;
+      auto it = target.regions_.find(rkey.key);
+      if (it == target.regions_.end()) {
+        c.status = WcStatus::InvalidKey;
+      } else if (!it->second.remote_writable) {
+        // Read-only exposure: the paper's defence for exporting kernel
+        // memory. The write is discarded.
+        c.status = WcStatus::ProtectionError;
+      } else if (it->second.writer) {
+        it->second.writer(value);
+      }
+      // Ack back to the initiator (small).
+      const sim::Duration resp =
+          fabric_.config().wire_delay(fabric_.config().rdma_request_bytes);
+      fabric_.simu().after(resp, [this, c = std::move(c),
+                                  done = std::move(done)]() mutable {
+        c.completed = fabric_.simu().now();
+        done(std::move(c));
+      });
+    });
+  });
+}
+
+}  // namespace rdmamon::net

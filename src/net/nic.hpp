@@ -1,0 +1,86 @@
+// The simulated network adapter. Two personalities, matching the paper's
+// two transports:
+//
+//  - channel semantics (two-sided): TX serialisation, then at the receiver
+//    an interrupt + protocol processing, inline in IRQ context when the
+//    receive path is keeping up and deferred to ksoftirqd when it is not
+//    (the load-coupling that makes socket monitoring degrade, Fig 3);
+//
+//  - memory semantics (one-sided): registered memory regions served by the
+//    NIC's DMA engine with zero host-CPU involvement.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/fabric.hpp"
+#include "net/message.hpp"
+#include "net/verbs.hpp"
+#include "os/node.hpp"
+
+namespace rdmamon::net {
+
+class Nic {
+ public:
+  Nic(Fabric& fabric, os::Node& node);
+
+  os::Node& node() { return node_; }
+  int node_id() const { return node_.id; }
+
+  // --- two-sided -----------------------------------------------------------
+  /// Transmits a message: serialises on the TX link (FIFO at link
+  /// bandwidth), then hands it to the fabric. The caller has already paid
+  /// the send syscall cost.
+  void tx(Message msg);
+
+  /// Receive path entry (called by the Fabric on arrival): raises a NetRx
+  /// interrupt; protocol processing happens inline in handler context when
+  /// the backlog is small, otherwise via ksoftirqd.
+  void rx(Message msg);
+
+  // --- one-sided -----------------------------------------------------------
+  /// Registers a memory region; `reader` is sampled at DMA time.
+  /// Read-only unless `remote_writable`.
+  MrKey register_mr(std::size_t bytes, std::function<std::any()> reader,
+                    bool remote_writable = false,
+                    std::function<void(const std::any&)> writer = nullptr);
+
+  /// Initiator-side one-sided READ: request packet to the target NIC, DMA
+  /// service there (no target CPU), response back, then `done` runs at the
+  /// initiator with the completion.
+  void rdma_read(int target_node, MrKey rkey, std::size_t len,
+                 std::uint64_t wr_id, std::function<void(Completion)> done);
+
+  /// Initiator-side one-sided WRITE. Rejected with ProtectionError when the
+  /// target region is not remote_writable.
+  void rdma_write(int target_node, MrKey rkey, std::any value,
+                  std::size_t len, std::uint64_t wr_id,
+                  std::function<void(Completion)> done);
+
+  // --- introspection ---------------------------------------------------------
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rx_deferred() const { return rx_deferred_; }
+  std::uint64_t rdma_ops_served() const { return rdma_served_; }
+
+ private:
+  friend class Fabric;
+
+  /// CPU chosen for the next NetRx interrupt (config fixed or round-robin).
+  int pick_rx_cpu();
+
+  Fabric& fabric_;
+  os::Node& node_;
+  std::unordered_map<std::uint32_t, MemoryRegion> regions_;
+  std::uint32_t next_rkey_ = 1;
+  sim::TimePoint tx_busy_{};
+  sim::TimePoint dma_busy_{};
+  int rr_cpu_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_deferred_ = 0;
+  std::uint64_t rdma_served_ = 0;
+};
+
+}  // namespace rdmamon::net

@@ -1,0 +1,73 @@
+#include "net/socket.hpp"
+
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+
+namespace rdmamon::net {
+
+namespace {
+
+sim::Duration copy_cost(const FabricConfig& cfg, std::size_t bytes) {
+  return sim::nsec(static_cast<std::int64_t>(
+      static_cast<double>(bytes) * cfg.socket_copy_per_byte_ns));
+}
+
+}  // namespace
+
+os::Program Socket::send(os::SimThread& self, std::size_t bytes,
+                         std::any payload) {
+  const FabricConfig& cfg = fabric_->config();
+  // Syscall trap + protocol + copy, charged as system time.
+  co_await os::ComputeKernel{cfg.socket_send_cost + copy_cost(cfg, bytes)};
+  Message m;
+  m.src_node = local_->id;
+  m.dst_node = remote_node_;
+  m.conn = conn_;
+  m.dst_side = remote_side_;
+  m.bytes = bytes;
+  m.payload = std::move(payload);
+  fabric_->nic(local_->id).tx(std::move(m));
+  (void)self;
+}
+
+void Socket::inject_tx(Message m) {
+  m.src_node = local_->id;
+  m.dst_node = remote_node_;
+  m.conn = conn_;
+  m.dst_side = remote_side_;
+  fabric_->nic(local_->id).tx(std::move(m));
+}
+
+os::Program Socket::recv(os::SimThread& self, Message& out) {
+  while (rx_.empty()) co_await os::WaitOn{&rx_wq_};
+  out = std::move(rx_.front());
+  rx_.pop_front();
+  const FabricConfig& cfg = fabric_->config();
+  co_await os::ComputeKernel{cfg.socket_recv_cost +
+                             copy_cost(cfg, out.bytes)};
+  (void)self;
+}
+
+Connection::Connection(Fabric& fabric, os::Node& a, os::Node& b,
+                       std::uint64_t id)
+    : id_(id) {
+  a_.local_ = &a;
+  a_.fabric_ = &fabric;
+  a_.remote_node_ = b.id;
+  a_.conn_ = id;
+  a_.remote_side_ = 1;
+  b_.local_ = &b;
+  b_.fabric_ = &fabric;
+  b_.remote_node_ = a.id;
+  b_.conn_ = id;
+  b_.remote_side_ = 0;
+  a.stats().on_connection_opened();
+  b.stats().on_connection_opened();
+}
+
+Connection::~Connection() {
+  a_.local_->stats().on_connection_closed();
+  b_.local_->stats().on_connection_closed();
+}
+
+}  // namespace rdmamon::net

@@ -1,0 +1,77 @@
+// Two-sided stream sockets over channel semantics (the paper's IPoIB
+// baseline transport). Message-oriented: each send() delivers one Message
+// at the peer after TX serialisation, wire, interrupt and protocol costs —
+// plus whatever run-queue delay the receiving thread suffers.
+#pragma once
+
+#include <any>
+#include <deque>
+
+#include "net/message.hpp"
+#include "os/node.hpp"
+#include "os/program.hpp"
+#include "os/wait.hpp"
+
+namespace rdmamon::net {
+
+class Fabric;
+class Connection;
+
+/// One endpoint of a Connection.
+class Socket {
+ public:
+  /// Subprogram: pays the send syscall + copy cost, then transmits `bytes`
+  /// carrying `payload` to the peer endpoint.
+  os::Program send(os::SimThread& self, std::size_t bytes, std::any payload);
+
+  /// Subprogram: blocks until a message is available, pays the recv
+  /// syscall + copy cost, and stores the message in `out`.
+  os::Program recv(os::SimThread& self, Message& out);
+
+  /// Transmits a prepared message WITHOUT charging the sender's syscall
+  /// cost — used for switch-replicated multicast copies, where the host
+  /// pays for one send and the fabric fans it out. Routing fields are
+  /// filled from this endpoint.
+  void inject_tx(Message m);
+
+  /// Non-blocking check.
+  bool has_data() const { return !rx_.empty(); }
+  std::size_t rx_backlog() const { return rx_.size(); }
+
+  os::Node& local_node() { return *local_; }
+  int remote_node_id() const { return remote_node_; }
+
+  /// Delivery from the NIC receive path (protocol cost already paid).
+  void deliver(Message m) {
+    rx_.push_back(std::move(m));
+    rx_wq_.notify_one();
+  }
+
+ private:
+  friend class Connection;
+  os::Node* local_ = nullptr;
+  Fabric* fabric_ = nullptr;
+  int remote_node_ = -1;
+  std::uint64_t conn_ = 0;
+  int remote_side_ = 0;  ///< which endpoint of the connection the peer is
+  std::deque<Message> rx_;
+  os::WaitQueue rx_wq_;
+};
+
+/// A bidirectional connection between two nodes; owns its two endpoints.
+class Connection {
+ public:
+  Connection(Fabric& fabric, os::Node& a, os::Node& b, std::uint64_t id);
+  ~Connection();
+
+  Socket& end_a() { return a_; }
+  Socket& end_b() { return b_; }
+  Socket& endpoint(int side) { return side == 0 ? a_ : b_; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  std::uint64_t id_;
+  Socket a_, b_;
+};
+
+}  // namespace rdmamon::net

@@ -1,0 +1,40 @@
+#include "net/verbs.hpp"
+
+#include "net/nic.hpp"
+
+namespace rdmamon::net {
+
+void QueuePair::post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id) {
+  local_->rdma_read(remote_node_, rkey, len, wr_id,
+                    [cq = cq_](Completion c) { cq->push(std::move(c)); });
+}
+
+void QueuePair::post_write(MrKey rkey, std::any value, std::size_t len,
+                           std::uint64_t wr_id) {
+  local_->rdma_write(remote_node_, rkey, std::move(value), len, wr_id,
+                     [cq = cq_](Completion c) { cq->push(std::move(c)); });
+}
+
+os::Program rdma_read_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
+                           std::size_t len, Completion& out) {
+  // Doorbell: a cheap user-space MMIO write.
+  co_await os::Compute{sim::nsec(300)};
+  qp.post_read(rkey, len, /*wr_id=*/0);
+  CompletionQueue& cq = qp.cq();
+  while (cq.empty()) co_await os::WaitOn{&cq.wait_queue()};
+  out = cq.pop();
+  (void)self;
+}
+
+os::Program rdma_write_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
+                            std::any value, std::size_t len,
+                            Completion& out) {
+  co_await os::Compute{sim::nsec(300)};
+  qp.post_write(rkey, std::move(value), len, /*wr_id=*/0);
+  CompletionQueue& cq = qp.cq();
+  while (cq.empty()) co_await os::WaitOn{&cq.wait_queue()};
+  out = cq.pop();
+  (void)self;
+}
+
+}  // namespace rdmamon::net

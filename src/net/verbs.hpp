@@ -1,0 +1,112 @@
+// ibverbs-style one-sided primitives: memory regions, RC queue pairs and
+// completion queues. The semantics the paper exploits are preserved:
+//
+//  - RDMA READ is serviced entirely by the target NIC's DMA engine; no
+//    target thread runs, no interrupt fires, no scheduler is involved.
+//  - The value returned is the registered region's content *at the DMA
+//    service instant* (a reader callback samples it then).
+//  - Regions registered read-only reject remote writes with a protection
+//    error — the paper's Section 6 security argument.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "os/program.hpp"
+#include "os/wait.hpp"
+#include "sim/time.hpp"
+
+namespace rdmamon::net {
+
+class Nic;
+
+/// Remote key naming a registered memory region on some node's NIC.
+struct MrKey {
+  std::uint32_t key = 0;
+};
+
+/// Registered memory region. `reader` snapshots the region's logical
+/// content; for writable regions `writer` applies a remote write.
+struct MemoryRegion {
+  std::uint32_t rkey = 0;
+  std::size_t bytes = 0;
+  bool remote_writable = false;
+  std::function<std::any()> reader;
+  std::function<void(const std::any&)> writer;
+};
+
+enum class WcStatus {
+  Success,
+  ProtectionError,  ///< write to a read-only region
+  InvalidKey,       ///< no such rkey at the target
+};
+
+/// Work completion delivered to the initiator's CQ.
+struct Completion {
+  std::uint64_t wr_id = 0;
+  WcStatus status = WcStatus::Success;
+  std::any data;              ///< READ: the fetched snapshot
+  sim::TimePoint posted{};    ///< when the WR was posted
+  sim::TimePoint completed{}; ///< when the completion arrived
+};
+
+/// Completion queue with a blocking wait channel. A real verbs consumer
+/// would poll; blocking on the wait queue models the same latency without
+/// burning simulated front-end CPU (documented simplification).
+class CompletionQueue {
+ public:
+  void push(Completion c) {
+    q_.push_back(std::move(c));
+    wq_.notify_all();
+  }
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+  Completion pop() {
+    Completion c = std::move(q_.front());
+    q_.pop_front();
+    return c;
+  }
+  os::WaitQueue& wait_queue() { return wq_; }
+
+ private:
+  std::deque<Completion> q_;
+  os::WaitQueue wq_;
+};
+
+/// Reliable-connected queue pair from a local NIC to a remote node.
+class QueuePair {
+ public:
+  QueuePair(Nic& local, int remote_node, CompletionQueue& cq)
+      : local_(&local), remote_node_(remote_node), cq_(&cq) {}
+
+  /// Posts a one-sided READ of `len` bytes from the remote region `rkey`.
+  /// Completion (with the sampled data) lands in the CQ.
+  void post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id);
+
+  /// Posts a one-sided WRITE of `value` to the remote region `rkey`.
+  void post_write(MrKey rkey, std::any value, std::size_t len,
+                  std::uint64_t wr_id);
+
+  int remote_node() const { return remote_node_; }
+  CompletionQueue& cq() { return *cq_; }
+
+ private:
+  Nic* local_;
+  int remote_node_;
+  CompletionQueue* cq_;
+};
+
+/// Subprogram: pays the WR post cost, posts a READ and blocks until its
+/// completion arrives, storing it in `out`. The canonical front-end
+/// monitoring primitive.
+os::Program rdma_read_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
+                           std::size_t len, Completion& out);
+
+/// Subprogram: same for WRITE (used by tests and the reconfiguration
+/// example; completes with ProtectionError on read-only regions).
+os::Program rdma_write_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
+                            std::any value, std::size_t len, Completion& out);
+
+}  // namespace rdmamon::net

@@ -1,0 +1,53 @@
+// The vocabulary of things a simulated thread can ask its kernel to do.
+// Thread bodies are C++20 coroutines that co_await these actions; the
+// scheduler interprets them (see program.hpp / scheduler.hpp).
+#pragma once
+
+#include <variant>
+
+#include "sim/time.hpp"
+
+namespace rdmamon::os {
+
+class WaitQueue;
+
+/// Burn CPU in user mode for `amount`.
+struct Compute {
+  sim::Duration amount;
+};
+
+/// Burn CPU in kernel mode (syscall / trap work); accounted as system time.
+struct ComputeKernel {
+  sim::Duration amount;
+};
+
+/// Sleep for at least `amount`; the wakeup is rounded UP to the next
+/// scheduler tick (1/hz), reproducing the paper's observation that the
+/// back-end reporting resolution is bounded by the OS timer resolution.
+struct SleepFor {
+  sim::Duration amount;
+};
+
+/// Sleep until at least `when` (same tick rounding).
+struct SleepUntil {
+  sim::TimePoint when;
+};
+
+/// Block until the given wait queue is notified. Use the classic
+/// `while (!predicate()) co_await WaitOn{&wq};` pattern — the DES is
+/// single-threaded so there is no lost-wakeup race, but spurious wakeups
+/// are possible by design (notify_all).
+struct WaitOn {
+  WaitQueue* wq;
+};
+
+/// Voluntarily give up the CPU; the thread re-queues at the tail.
+struct YieldCpu {};
+
+/// Terminate the thread.
+struct ExitThread {};
+
+using Action = std::variant<Compute, ComputeKernel, SleepFor, SleepUntil,
+                            WaitOn, YieldCpu, ExitThread>;
+
+}  // namespace rdmamon::os

@@ -1,0 +1,111 @@
+#include "os/kernel_stats.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace rdmamon::os {
+
+CpuAccounting::CpuAccounting(sim::Duration ema_window)
+    : window_(ema_window) {}
+
+double CpuAccounting::decay(sim::Duration dt) const {
+  return std::exp(-static_cast<double>(dt.ns) /
+                  static_cast<double>(window_.ns));
+}
+
+void CpuAccounting::set_state(CpuState s, sim::TimePoint t) {
+  assert(t >= last_);
+  const sim::Duration dt = t - last_;
+  if (dt.ns > 0) {
+    // Fold the elapsed interval into the EMA: the signal was constant
+    // (busy or idle) over [last_, t].
+    const double k = decay(dt);
+    const double level = state_ == CpuState::Idle ? 0.0 : 1.0;
+    ema_ = ema_ * k + level * (1.0 - k);
+    switch (state_) {
+      case CpuState::Idle: idle_ += dt; break;
+      case CpuState::User: user_ += dt; break;
+      case CpuState::Kernel: system_ += dt; break;
+      case CpuState::Irq: irq_ += dt; break;
+    }
+  }
+  last_ = t;
+  state_ = s;
+}
+
+double CpuAccounting::utilization(sim::TimePoint t) const {
+  const sim::Duration dt = t - last_;
+  if (dt.ns <= 0) return ema_;
+  const double k = decay(dt);
+  const double level = state_ == CpuState::Idle ? 0.0 : 1.0;
+  return ema_ * k + level * (1.0 - k);
+}
+
+KernelStats::KernelStats(int cpus, sim::Duration ema_window,
+                         std::uint64_t memory_bytes)
+    : window_(ema_window), mem_total_(memory_bytes) {
+  cpus_.assign(static_cast<std::size_t>(cpus), CpuAccounting(ema_window));
+}
+
+void KernelStats::set_cpu_state(CpuId cpu, CpuState s, sim::TimePoint t) {
+  cpus_[static_cast<std::size_t>(cpu)].set_state(s, t);
+}
+
+double KernelStats::cpu_utilization(CpuId cpu, sim::TimePoint t) const {
+  return cpus_[static_cast<std::size_t>(cpu)].utilization(t);
+}
+
+double KernelStats::cpu_load(sim::TimePoint t) const {
+  double sum = 0.0;
+  for (const auto& c : cpus_) sum += c.utilization(t);
+  return sum / static_cast<double>(cpus_.size());
+}
+
+void KernelStats::on_thread_created(bool kernel) {
+  (kernel ? nr_threads_kernel_ : nr_threads_user_)++;
+}
+
+void KernelStats::on_thread_exited(bool kernel) {
+  (kernel ? nr_threads_kernel_ : nr_threads_user_)--;
+}
+
+void KernelStats::on_thread_runnable(bool kernel) {
+  (kernel ? nr_running_kernel_ : nr_running_user_)++;
+}
+
+void KernelStats::on_thread_unrunnable(bool kernel) {
+  (kernel ? nr_running_kernel_ : nr_running_user_)--;
+  assert(nr_running_user_ >= 0 && nr_running_kernel_ >= 0);
+}
+
+void KernelStats::alloc_memory(std::uint64_t bytes) {
+  mem_used_ += bytes;
+  if (mem_used_ > mem_total_) mem_used_ = mem_total_;  // swap not modelled
+}
+
+void KernelStats::free_memory(std::uint64_t bytes) {
+  mem_used_ = bytes > mem_used_ ? 0 : mem_used_ - bytes;
+}
+
+void KernelStats::on_net_bytes(std::uint64_t bytes, sim::TimePoint t) {
+  const sim::Duration dt = t - net_last_;
+  if (dt.ns > 0) {
+    const double k = std::exp(-static_cast<double>(dt.ns) /
+                              static_cast<double>(window_.ns));
+    net_rate_ema_ *= k;
+    net_last_ = t;
+  }
+  // An impulse of `bytes` spread over the EMA window.
+  net_rate_ema_ +=
+      static_cast<double>(bytes) / (static_cast<double>(window_.ns) / 1e9);
+}
+
+double KernelStats::net_rate(sim::TimePoint t) const {
+  const sim::Duration dt = t - net_last_;
+  if (dt.ns <= 0) return net_rate_ema_;
+  const double k = std::exp(-static_cast<double>(dt.ns) /
+                            static_cast<double>(window_.ns));
+  return net_rate_ema_ * k;
+}
+
+}  // namespace rdmamon::os

@@ -1,0 +1,113 @@
+#include "reconfig/reconfig.hpp"
+
+#include <any>
+#include <cassert>
+#include <limits>
+
+#include "lb/balancer.hpp"
+
+namespace rdmamon::reconfig {
+
+RoleRegion::RoleRegion(net::Fabric& fabric, os::Node& node, Role initial)
+    : node_(&node), role_(initial) {
+  key_ = fabric.nic(node.id).register_mr(
+      sizeof(int), [this] { return std::any(static_cast<int>(role_)); },
+      /*remote_writable=*/true, [this](const std::any& v) {
+        const Role next = static_cast<Role>(std::any_cast<int>(v));
+        if (next != role_) {
+          role_ = next;
+          if (on_change_) on_change_(role_);
+        }
+      });
+}
+
+ReconfigManager::ReconfigManager(net::Fabric& fabric, os::Node& frontend,
+                                 ReconfigConfig cfg)
+    : fabric_(&fabric), frontend_(&frontend), cfg_(cfg) {}
+
+void ReconfigManager::add_backend(RoleRegion& region) {
+  regions_.push_back(&region);
+  channels_.push_back(std::make_unique<monitor::MonitorChannel>(
+      *fabric_, *frontend_, region.node(), cfg_.monitor));
+  samples_.emplace_back();
+}
+
+void ReconfigManager::start() {
+  frontend_->spawn("reconfig-mgr",
+                   [this](os::SimThread& t) { return manager_body(t); });
+}
+
+int ReconfigManager::nodes_in(Role r) const {
+  int n = 0;
+  for (const auto* reg : regions_) {
+    if (reg->role() == r) ++n;
+  }
+  return n;
+}
+
+double ReconfigManager::pool_load(Role r) const {
+  double sum = 0;
+  int n = 0;
+  lb::WeightConfig w;
+  for (std::size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i]->role() != r) continue;
+    if (!samples_[i].ok) continue;
+    sum += lb::load_index(samples_[i].info, w);
+    ++n;
+  }
+  return n > 0 ? sum / n : 0.0;
+}
+
+os::Program ReconfigManager::manager_body(os::SimThread& self) {
+  sim::Simulation& simu = self.node().simu();
+  for (;;) {
+    // Refresh every back end's load through the configured scheme.
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      monitor::MonitorSample s;
+      co_await channels_[i]->frontend().fetch(self, s);
+      if (s.ok) samples_[i] = s;
+    }
+
+    const double load_a = pool_load(Role::ServiceA);
+    const double load_b = pool_load(Role::ServiceB);
+    const double gap = load_a - load_b;
+    const bool cooled =
+        (simu.now() - last_reconfig_) >= cfg_.cooldown;
+    if (cooled && std::abs(gap) >= cfg_.imbalance_threshold) {
+      const Role cool = gap > 0 ? Role::ServiceB : Role::ServiceA;
+      const Role hot = gap > 0 ? Role::ServiceA : Role::ServiceB;
+      if (nodes_in(cool) > cfg_.min_nodes_per_service) {
+        // Move the least-loaded node of the cool pool to the hot pool.
+        lb::WeightConfig w;
+        int pick = -1;
+        double best = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < regions_.size(); ++i) {
+          if (regions_[i]->role() != cool || !samples_[i].ok) continue;
+          const double idx = lb::load_index(samples_[i].info, w);
+          if (idx < best) {
+            best = idx;
+            pick = static_cast<int>(i);
+          }
+        }
+        if (pick >= 0) {
+          // One-sided role flip: an RDMA WRITE into the back end's
+          // registered role word. No back-end thread is involved.
+          net::QueuePair qp(
+              fabric_->nic(frontend_->id),
+              regions_[static_cast<std::size_t>(pick)]->node().id, cq_);
+          net::Completion c;
+          co_await net::rdma_write_sync(
+              self, qp, regions_[static_cast<std::size_t>(pick)]->mr_key(),
+              std::any(static_cast<int>(hot)), sizeof(int), c);
+          if (c.status == net::WcStatus::Success) {
+            ++reconfigs_;
+            last_reconfig_ = simu.now();
+          }
+        }
+      }
+    }
+    co_await os::SleepFor{cfg_.check_period};
+  }
+}
+
+}  // namespace rdmamon::reconfig

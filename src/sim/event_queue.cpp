@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace rdmamon::sim {
+
+void EventHandle::cancel() {
+  if (state_ && !state_->fired) state_->cancelled = true;
+}
+
+bool EventHandle::pending() const {
+  return state_ && !state_->fired && !state_->cancelled;
+}
+
+EventHandle EventQueue::schedule(TimePoint when, Callback fn) {
+  auto state = std::make_shared<EventHandle::State>();
+  heap_.push(Entry{when, next_seq_++, std::move(fn), state});
+  ++live_;
+  return EventHandle{std::move(state)};
+}
+
+void EventQueue::drop_dead() const {
+  // heap_/live_ are mutable: discarding cancelled entries does not change
+  // the queue's observable (live-event) state.
+  while (!heap_.empty() && heap_.top().state->cancelled) {
+    heap_.pop();
+    --live_;
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+TimePoint EventQueue::next_time() const {
+  drop_dead();
+  assert(!heap_.empty());
+  return heap_.top().when;
+}
+
+TimePoint EventQueue::pop_and_run() {
+  drop_dead();
+  assert(!heap_.empty());
+  Entry e = heap_.top();
+  heap_.pop();
+  --live_;
+  e.state->fired = true;
+  ++executed_;
+  e.fn();
+  return e.when;
+}
+
+}  // namespace rdmamon::sim

@@ -1,0 +1,88 @@
+// Cancellable time-ordered event queue: the heart of the DES kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rdmamon::sim {
+
+/// Handle to a scheduled event; lets the owner cancel it before it fires.
+/// Copyable; all copies refer to the same event. A default-constructed
+/// handle refers to nothing and is inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Idempotent.
+  void cancel();
+
+  /// True if the event is still scheduled (not fired, not cancelled).
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// Min-heap of (time, insertion-sequence) ordered callbacks. Ties at the
+/// same timestamp fire in insertion order, which keeps runs deterministic.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` to fire at absolute time `when`. `when` may equal the
+  /// current pop time (fires after already-popped events at that instant)
+  /// but must never be in the past relative to the last popped event; the
+  /// Simulation wrapper enforces that.
+  EventHandle schedule(TimePoint when, Callback fn);
+
+  /// True if no live (non-cancelled) event remains.
+  bool empty() const;
+
+  /// Timestamp of the earliest live event; undefined when empty().
+  TimePoint next_time() const;
+
+  /// Pops and runs the earliest live event; returns its timestamp.
+  /// Precondition: !empty().
+  TimePoint pop_and_run();
+
+  /// Number of live events currently queued.
+  std::size_t size() const { return live_; }
+
+  /// Total events ever executed (for stats / micro-benchmarks).
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;
+    Callback fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead() const;
+
+  // mutable: empty()/next_time() lazily discard cancelled heads.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  mutable std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace rdmamon::sim

@@ -1,0 +1,25 @@
+#include "sim/simulation.hpp"
+
+namespace rdmamon::sim {
+
+void Simulation::run() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    // Advance the clock BEFORE running the callback so that event bodies
+    // observe now() == their own timestamp.
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+  }
+}
+
+void Simulation::run_until(TimePoint deadline) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_ &&
+         queue_.next_time() <= deadline) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+  }
+  if (!stop_requested_ && now_ < deadline) now_ = deadline;
+}
+
+}  // namespace rdmamon::sim

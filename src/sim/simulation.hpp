@@ -1,0 +1,67 @@
+// Simulation context: clock + event queue + run loop. Every model object
+// holds a reference to one Simulation and schedules work through it.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace rdmamon::sim {
+
+/// Top-level simulation driver.
+///
+/// Usage:
+///   Simulation simu;
+///   simu.after(msec(10), [&]{ ... });
+///   simu.run_for(seconds(5));
+class Simulation {
+ public:
+  /// Current simulated time.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when`. Throws std::logic_error if
+  /// `when` is in the past — a model bug we'd rather catch loudly.
+  EventHandle at(TimePoint when, EventQueue::Callback fn) {
+    if (when < now_) {
+      throw std::logic_error("Simulation::at: scheduling into the past");
+    }
+    return queue_.schedule(when, std::move(fn));
+  }
+
+  /// Schedules `fn` after a relative delay (>= 0).
+  EventHandle after(Duration delay, EventQueue::Callback fn) {
+    if (delay.ns < 0) {
+      throw std::logic_error("Simulation::after: negative delay");
+    }
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until the queue drains or `stop()` is called.
+  void run();
+
+  /// Runs events with timestamp <= `deadline`, then sets now() = deadline
+  /// (even if the queue drained earlier). Cleared `stop()` flag applies.
+  void run_until(TimePoint deadline);
+
+  /// Convenience: run_until(now() + d).
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Requests the current run()/run_until() to return after the in-flight
+  /// event completes. Safe to call from inside an event callback.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of events executed since construction.
+  std::uint64_t events_executed() const { return queue_.executed(); }
+
+  /// Number of live events currently scheduled.
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  TimePoint now_{};
+  bool stop_requested_ = false;
+};
+
+}  // namespace rdmamon::sim

@@ -1,0 +1,125 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdmamon::sim {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+Histogram::Histogram() : buckets_(kBuckets, 0) {}
+
+int Histogram::bucket_of(double v) {
+  if (v < 1.0) return 0;
+  const double l = std::log2(v);
+  int b = static_cast<int>(l * kSubBuckets);
+  return std::clamp(b, 0, kBuckets - 1);
+}
+
+void Histogram::add(double v) {
+  if (v < 0.0) v = 0.0;
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+  ++n_;
+  stats_.add(v);
+}
+
+double Histogram::percentile(double q) const {
+  if (n_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(n_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[static_cast<std::size_t>(b)];
+    if (seen > target) {
+      // Representative value: geometric midpoint of the bucket.
+      const double lo = std::exp2(static_cast<double>(b) / kSubBuckets);
+      const double hi = std::exp2(static_cast<double>(b + 1) / kSubBuckets);
+      const double mid = b == 0 ? 0.5 : std::sqrt(lo * hi);
+      return std::clamp(mid, stats_.min(), stats_.max());
+    }
+  }
+  return stats_.max();
+}
+
+void Histogram::merge(const Histogram& o) {
+  for (int b = 0; b < kBuckets; ++b)
+    buckets_[static_cast<std::size_t>(b)] +=
+        o.buckets_[static_cast<std::size_t>(b)];
+  n_ += o.n_;
+  stats_.merge(o.stats_);
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  n_ = 0;
+  stats_ = OnlineStats{};
+}
+
+void TimeWeighted::set(TimePoint t, double v) {
+  if (!started_) {
+    started_ = true;
+    start_ = last_ = t;
+    cur_ = v;
+    return;
+  }
+  assert(t >= last_);
+  weighted_sum_ += cur_ * static_cast<double>((t - last_).ns);
+  last_ = t;
+  cur_ = v;
+}
+
+double TimeWeighted::mean_until(TimePoint t) const {
+  if (!started_ || t <= start_) return 0.0;
+  double ws = weighted_sum_;
+  if (t > last_) ws += cur_ * static_cast<double>((t - last_).ns);
+  return ws / static_cast<double>((t - start_).ns);
+}
+
+double TimeSeries::value_mean() const {
+  if (pts_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& p : pts_) s += p.v;
+  return s / static_cast<double>(pts_.size());
+}
+
+double TimeSeries::value_max() const {
+  double m = 0.0;
+  for (const auto& p : pts_) m = std::max(m, p.v);
+  return m;
+}
+
+}  // namespace rdmamon::sim

@@ -1,0 +1,119 @@
+// Measurement plumbing: online moments, latency histograms with
+// percentiles, and time-weighted series. Everything the benches report
+// flows through these.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace rdmamon::sim {
+
+/// Welford online mean/variance plus min/max. O(1) memory.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const OnlineStats& o);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Log-bucketed histogram for nonnegative values (latencies in ns, queue
+/// lengths, ...). ~90 buckets per decade-of-2 layout: value v lands in
+/// bucket floor(log2(v) * kSubBuckets). Percentile error < ~1.6%.
+class Histogram {
+ public:
+  Histogram();
+
+  void add(double v);
+  void add(Duration d) { add(static_cast<double>(d.ns)); }
+
+  std::uint64_t count() const { return n_; }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double mean() const { return stats_.mean(); }
+
+  /// Value at quantile q in [0, 1]; 0 when empty.
+  double percentile(double q) const;
+
+  /// Merges another histogram (same layout by construction).
+  void merge(const Histogram& o);
+
+  /// Clears all samples.
+  void reset();
+
+ private:
+  static constexpr int kSubBuckets = 8;  // per power of two
+  static constexpr int kBuckets = 64 * kSubBuckets;
+  static int bucket_of(double v);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t n_ = 0;
+  OnlineStats stats_;
+};
+
+/// Piecewise-constant signal sampled at change points; computes
+/// time-weighted averages (e.g. average run-queue length over a window).
+class TimeWeighted {
+ public:
+  /// Records that the signal took value `v` starting at time `t`.
+  /// Times must be non-decreasing.
+  void set(TimePoint t, double v);
+
+  /// Closes the signal at time `t` and returns the time-weighted mean
+  /// over [first set, t]. Returns 0 if fewer than one segment.
+  double mean_until(TimePoint t) const;
+
+  double current() const { return cur_; }
+  bool started() const { return started_; }
+
+ private:
+  bool started_ = false;
+  TimePoint start_{}, last_{};
+  double cur_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+/// A labelled (time, value) series for figure output.
+struct SeriesPoint {
+  TimePoint t;
+  double v;
+};
+
+class TimeSeries {
+ public:
+  void add(TimePoint t, double v) { pts_.push_back({t, v}); }
+  const std::vector<SeriesPoint>& points() const { return pts_; }
+  std::size_t size() const { return pts_.size(); }
+  bool empty() const { return pts_.empty(); }
+
+  /// Mean of the raw values (unweighted).
+  double value_mean() const;
+
+  /// Max of the raw values (0 if empty).
+  double value_max() const;
+
+ private:
+  std::vector<SeriesPoint> pts_;
+};
+
+}  // namespace rdmamon::sim

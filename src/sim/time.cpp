@@ -1,0 +1,11 @@
+#include "sim/time.hpp"
+
+#include "util/format.hpp"
+
+namespace rdmamon::sim {
+
+std::string to_string(Duration d) { return util::format_duration_ns(d.ns); }
+
+std::string to_string(TimePoint t) { return util::format_duration_ns(t.ns); }
+
+}  // namespace rdmamon::sim

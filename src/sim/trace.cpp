@@ -1,0 +1,32 @@
+#include "sim/trace.hpp"
+
+#include <iostream>
+
+namespace rdmamon::sim {
+
+void Tracer::enable(TraceLevel level, Sink sink,
+                    std::function<TimePoint()> now) {
+  level_ = level;
+  sink_ = std::move(sink);
+  now_ = std::move(now);
+}
+
+void Tracer::enable_stderr(TraceLevel level, std::function<TimePoint()> now) {
+  enable(
+      level, [](const std::string& line) { std::cerr << line << '\n'; },
+      std::move(now));
+}
+
+void Tracer::emit(TraceLevel level, const std::string& component,
+                  const std::string& msg) {
+  if (!enabled(level) || !sink_) return;
+  std::string line = "(t=";
+  line += now_ ? to_string(now_()) : std::string("?");
+  line += ") [";
+  line += component;
+  line += "] ";
+  line += msg;
+  sink_(line);
+}
+
+}  // namespace rdmamon::sim

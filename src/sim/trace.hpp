@@ -1,0 +1,54 @@
+// Lightweight component-tagged tracing. Disabled by default; tests and
+// debugging sessions can route it to stderr or capture it in memory.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace rdmamon::sim {
+
+/// Severity levels, lowest to highest.
+enum class TraceLevel { Debug = 0, Info = 1, Warn = 2, Off = 3 };
+
+/// A trace sink bound to a simulation clock. Components call
+/// `trace.info("net", "...")`; the sink sees "(t=12.5ms) [net] ...".
+class Tracer {
+ public:
+  using Sink = std::function<void(const std::string& line)>;
+
+  /// Constructs a disabled tracer (level Off, no sink).
+  Tracer() = default;
+
+  /// Enables output at `level` through `sink`. The `now` callback supplies
+  /// timestamps (usually bound to Simulation::now).
+  void enable(TraceLevel level, Sink sink, std::function<TimePoint()> now);
+
+  /// Routes output to stderr (convenience for debugging).
+  void enable_stderr(TraceLevel level, std::function<TimePoint()> now);
+
+  void disable() { level_ = TraceLevel::Off; }
+
+  bool enabled(TraceLevel level) const { return level >= level_; }
+
+  void debug(const std::string& component, const std::string& msg) {
+    emit(TraceLevel::Debug, component, msg);
+  }
+  void info(const std::string& component, const std::string& msg) {
+    emit(TraceLevel::Info, component, msg);
+  }
+  void warn(const std::string& component, const std::string& msg) {
+    emit(TraceLevel::Warn, component, msg);
+  }
+
+ private:
+  void emit(TraceLevel level, const std::string& component,
+            const std::string& msg);
+
+  TraceLevel level_ = TraceLevel::Off;
+  Sink sink_;
+  std::function<TimePoint()> now_;
+};
+
+}  // namespace rdmamon::sim

@@ -1,0 +1,39 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+namespace rdmamon::util {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells, int digits) {
+  char buf[64];
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, cells[i]);
+    os_ << buf;
+  }
+  os_ << '\n';
+}
+
+}  // namespace rdmamon::util

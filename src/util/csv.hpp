@@ -1,0 +1,30 @@
+// Tiny CSV writer so every bench can optionally dump machine-readable
+// series next to its ASCII output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdmamon::util {
+
+/// Streams rows of comma-separated values with RFC-4180-ish quoting.
+/// The writer does not own the stream.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row; cells containing commas, quotes or newlines are quoted.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: writes a row of doubles with `digits` decimals.
+  void write_row(const std::vector<double>& cells, int digits = 6);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Quotes one CSV cell if needed (exposed for tests).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace rdmamon::util

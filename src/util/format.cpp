@@ -1,0 +1,81 @@
+#include "util/format.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace rdmamon::util {
+
+namespace {
+
+std::string trim_zeros(std::string s) {
+  if (s.find('.') == std::string::npos) return s;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+std::string format_duration_ns(std::int64_t ns) {
+  const bool neg = ns < 0;
+  double v = static_cast<double>(neg ? -ns : ns);
+  const char* unit = "ns";
+  if (v >= 1e9) {
+    v /= 1e9;
+    unit = "s";
+  } else if (v >= 1e6) {
+    v /= 1e6;
+    unit = "ms";
+  } else if (v >= 1e3) {
+    v /= 1e3;
+    unit = "us";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, unit);
+  std::string out = buf;
+  return neg ? "-" + out : out;
+}
+
+std::string format_percent(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> units = {"B", "KiB", "MiB",
+                                                       "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  std::size_t u = 0;
+  while (v >= 1024.0 && u + 1 < units.size()) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, units[u]);
+  }
+  return buf;
+}
+
+std::string format_double(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return trim_zeros(buf);
+}
+
+std::string pad_left(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return std::string(w - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t w) {
+  if (s.size() >= w) return s;
+  return s + std::string(w - s.size(), ' ');
+}
+
+}  // namespace rdmamon::util

@@ -1,0 +1,29 @@
+// Formatting helpers shared by tables, charts, benches and examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rdmamon::util {
+
+/// Formats a nanosecond duration with an auto-selected unit
+/// (e.g. "1.50us", "12.0ms", "3.2s"). Keeps three significant digits.
+std::string format_duration_ns(std::int64_t ns);
+
+/// Formats `value` as a percentage string with one decimal ("42.5%").
+std::string format_percent(double fraction);
+
+/// Formats a byte count with binary units ("1.5KiB", "3.0MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros ("3.14", "10").
+std::string format_double(double value, int digits = 3);
+
+/// Left-pads `s` with spaces to width `w` (no-op if already wider).
+std::string pad_left(const std::string& s, std::size_t w);
+
+/// Right-pads `s` with spaces to width `w`.
+std::string pad_right(const std::string& s, std::size_t w);
+
+}  // namespace rdmamon::util

@@ -1,0 +1,79 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/format.hpp"
+
+namespace rdmamon::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+  aligns_.assign(header_.size(), Align::Right);
+}
+
+void Table::set_align(std::size_t col, Align align) {
+  if (col >= aligns_.size()) aligns_.resize(col + 1, Align::Right);
+  aligns_[col] = align;
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void Table::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) widen(r.cells);
+
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t i = 0; i < ncols; ++i)
+      os << std::string(widths[i] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const Align a = i < aligns_.size() ? aligns_[i] : Align::Right;
+      os << ' '
+         << (a == Align::Left ? pad_right(cell, widths[i])
+                              : pad_left(cell, widths[i]))
+         << " |";
+    }
+    os << '\n';
+  };
+
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      hline();
+    } else {
+      emit(r.cells);
+    }
+  }
+  hline();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace rdmamon::util

@@ -1,0 +1,49 @@
+// ASCII table printer used by the benchmark harness to reproduce the
+// paper's tables in a terminal-friendly format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdmamon::util {
+
+/// Column alignment inside a Table.
+enum class Align { Left, Right };
+
+/// A simple text table: add a header once, then rows; `print` sizes each
+/// column to its widest cell. Used by every bench binary so the reproduced
+/// tables/figures share one look.
+class Table {
+ public:
+  /// Sets the header row. Resets alignment to Right for all columns.
+  void set_header(std::vector<std::string> header);
+
+  /// Overrides the alignment of column `col` (default Right).
+  void set_align(std::size_t col, Align align);
+
+  /// Appends a data row; may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Renders the table to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders the table to a string (for tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace rdmamon::util

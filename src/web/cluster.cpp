@@ -1,0 +1,100 @@
+#include "web/cluster.hpp"
+
+namespace rdmamon::web {
+
+ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
+    : simu_(simu), cfg_(cfg), seed_rng_(cfg.seed) {
+  fabric_ = std::make_unique<net::Fabric>(simu_, cfg_.fabric);
+  frontend_ = std::make_unique<os::Node>(simu_, cfg_.frontend_node);
+  fabric_->attach(*frontend_);
+
+  lb_ = std::make_unique<lb::LoadBalancer>(
+      lb::WeightConfig::for_scheme(cfg_.scheme));
+  dispatcher_ = std::make_unique<lb::Dispatcher>(*fabric_, *frontend_, *lb_);
+
+  monitor::MonitorConfig mcfg;
+  mcfg.scheme = cfg_.scheme;
+  mcfg.period = cfg_.monitor_period;
+
+  for (int i = 0; i < cfg_.backends; ++i) {
+    os::NodeConfig ncfg = cfg_.backend_node;
+    ncfg.name = "backend" + std::to_string(i);
+    backends_.push_back(std::make_unique<os::Node>(simu_, ncfg));
+    os::Node& node = *backends_.back();
+    fabric_->attach(node);
+    servers_.push_back(
+        std::make_unique<WebServer>(*fabric_, node, cfg_.server));
+    dispatcher_->add_backend(*servers_.back());
+    lb_->add_backend(std::make_unique<monitor::MonitorChannel>(
+        *fabric_, *frontend_, node, mcfg));
+  }
+  lb_->start(*frontend_, cfg_.lb_granularity);
+
+  if (cfg_.admission_threshold >= 0.0) {
+    admission_ =
+        std::make_unique<lb::AdmissionController>(cfg_.admission_threshold);
+    dispatcher_->set_admission(admission_.get());
+  }
+}
+
+ClusterTestbed::~ClusterTestbed() = default;
+
+ClientGroup& ClusterTestbed::add_clients(int nodes, RequestGenerator gen,
+                                         ClientGroupConfig ccfg) {
+  std::vector<os::Node*> group_nodes;
+  for (int i = 0; i < nodes; ++i) {
+    os::NodeConfig ncfg = cfg_.client_node;
+    ncfg.name = "client" + std::to_string(clients_.size());
+    clients_.push_back(std::make_unique<os::Node>(simu_, ncfg));
+    fabric_->attach(*clients_.back());
+    group_nodes.push_back(clients_.back().get());
+  }
+  groups_.push_back(std::make_unique<ClientGroup>(
+      *fabric_, *dispatcher_, std::move(group_nodes), std::move(gen), ccfg,
+      seed_rng_.split()));
+  return *groups_.back();
+}
+
+RequestGenerator make_rubis_generator() {
+  auto wl = std::make_shared<workload::RubisWorkload>();
+  return [wl](sim::Rng& rng) {
+    const auto inst = wl->sample_instance(rng);
+    Request r;
+    r.query_class = static_cast<int>(inst.query);
+    r.demand.cpu_php = inst.php_cpu;
+    r.demand.cpu_db = inst.db_cpu;
+    r.demand.io_wait = inst.db_io;
+    r.demand.reply_bytes = inst.reply_bytes;
+    return r;
+  };
+}
+
+RequestGenerator make_rubis_generator(workload::RubisQuery q) {
+  auto wl = std::make_shared<workload::RubisWorkload>();
+  return [wl, q](sim::Rng& rng) {
+    const auto inst = wl->instance_of(q, rng);
+    Request r;
+    r.query_class = static_cast<int>(q);
+    r.demand.cpu_php = inst.php_cpu;
+    r.demand.cpu_db = inst.db_cpu;
+    r.demand.io_wait = inst.db_io;
+    r.demand.reply_bytes = inst.reply_bytes;
+    return r;
+  };
+}
+
+RequestGenerator make_zipf_generator(
+    std::shared_ptr<const workload::ZipfTrace> trace) {
+  return [trace](sim::Rng& rng) {
+    const workload::StaticRequest sr = trace->sample(rng);
+    Request r;
+    r.query_class = kStaticClass;
+    r.is_static = true;
+    r.demand.cpu_php = sr.cpu_demand;
+    r.demand.io_wait = sr.io_wait;
+    r.demand.reply_bytes = sr.bytes;
+    return r;
+  };
+}
+
+}  // namespace rdmamon::web

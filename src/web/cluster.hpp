@@ -1,0 +1,102 @@
+// The paper's testbed in one object: a front-end dispatcher node, eight
+// dual-CPU back-end web servers, client nodes, the chosen monitoring
+// scheme wiring, and the WebSphere-style load balancer. Every
+// application-level experiment (Table 1, Figs 7-9) builds one of these.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lb/admission.hpp"
+#include "lb/balancer.hpp"
+#include "lb/dispatcher.hpp"
+#include "monitor/scheme.hpp"
+#include "net/fabric.hpp"
+#include "os/node.hpp"
+#include "web/client.hpp"
+#include "web/server.hpp"
+#include "workload/rubis.hpp"
+#include "workload/zipf.hpp"
+
+namespace rdmamon::web {
+
+struct ClusterConfig {
+  int backends = 8;
+  monitor::Scheme scheme = monitor::Scheme::RdmaSync;
+  /// T: async schemes' back-end update period.
+  sim::Duration monitor_period = sim::msec(50);
+  /// Load-fetching granularity of the balancer's poller.
+  sim::Duration lb_granularity = sim::msec(50);
+  ServerConfig server;
+  os::NodeConfig backend_node;
+  os::NodeConfig frontend_node;
+  os::NodeConfig client_node;
+  net::FabricConfig fabric;
+  /// When set (>= 0), enables admission control at this load threshold.
+  double admission_threshold = -1.0;
+  std::uint64_t seed = 42;
+
+  ClusterConfig() {
+    backend_node.name = "backend";
+    frontend_node.name = "frontend";
+    client_node.name = "client";
+    // The paper's client nodes are bigger (2x 3.0 GHz, 2 GB).
+    client_node.memory_bytes = 2ull << 30;
+  }
+};
+
+class ClusterTestbed {
+ public:
+  ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg);
+  ~ClusterTestbed();
+
+  ClusterTestbed(const ClusterTestbed&) = delete;
+  ClusterTestbed& operator=(const ClusterTestbed&) = delete;
+
+  /// Adds a group of closed-loop clients running `gen` on `nodes` fresh
+  /// client nodes. Returns the group (for its ResponseStats).
+  ClientGroup& add_clients(int nodes, RequestGenerator gen,
+                           ClientGroupConfig ccfg = {});
+
+  sim::Simulation& simu() { return simu_; }
+  net::Fabric& fabric() { return *fabric_; }
+  os::Node& frontend() { return *frontend_; }
+  os::Node& backend(int i) { return *backends_[static_cast<std::size_t>(i)]; }
+  int backend_count() const { return static_cast<int>(backends_.size()); }
+  std::vector<os::Node*> backend_ptrs() {
+    std::vector<os::Node*> out;
+    for (auto& b : backends_) out.push_back(b.get());
+    return out;
+  }
+  WebServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
+  lb::LoadBalancer& balancer() { return *lb_; }
+  lb::Dispatcher& dispatcher() { return *dispatcher_; }
+  lb::AdmissionController* admission() { return admission_.get(); }
+  const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  sim::Simulation& simu_;
+  ClusterConfig cfg_;
+  sim::Rng seed_rng_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::unique_ptr<os::Node> frontend_;
+  std::vector<std::unique_ptr<os::Node>> backends_;
+  std::vector<std::unique_ptr<os::Node>> clients_;
+  std::vector<std::unique_ptr<WebServer>> servers_;
+  std::unique_ptr<lb::LoadBalancer> lb_;
+  std::unique_ptr<lb::Dispatcher> dispatcher_;
+  std::unique_ptr<lb::AdmissionController> admission_;
+  std::vector<std::unique_ptr<ClientGroup>> groups_;
+};
+
+/// Generator for the RUBiS browsing mix (all eight query classes).
+RequestGenerator make_rubis_generator();
+
+/// Generator for a single RUBiS query class (per-class latency probes).
+RequestGenerator make_rubis_generator(workload::RubisQuery q);
+
+/// Generator for Zipf static content (shares the trace across clients).
+RequestGenerator make_zipf_generator(
+    std::shared_ptr<const workload::ZipfTrace> trace);
+
+}  // namespace rdmamon::web

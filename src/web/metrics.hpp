@@ -1,0 +1,57 @@
+// Response-time and throughput accounting for the application-level
+// experiments (Table 1, Figs 7-9).
+#pragma once
+
+#include <map>
+
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace rdmamon::web {
+
+/// Collects per-class and overall response times plus completion counts.
+class ResponseStats {
+ public:
+  void record(int query_class, sim::Duration response_time) {
+    auto& h = per_class_[query_class];
+    h.add(static_cast<double>(response_time.ns));
+    overall_.add(static_cast<double>(response_time.ns));
+    ++completed_;
+  }
+
+  void record_rejected() { ++rejected_; }
+
+  /// Per-class stats; creates an empty slot if absent.
+  const sim::OnlineStats& by_class(int query_class) const {
+    static const sim::OnlineStats empty;
+    auto it = per_class_.find(query_class);
+    return it == per_class_.end() ? empty : it->second;
+  }
+
+  const sim::OnlineStats& overall() const { return overall_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  /// Completions per second over the given simulated span.
+  double throughput(sim::Duration span) const {
+    return span.ns > 0
+               ? static_cast<double>(completed_) / span.seconds()
+               : 0.0;
+  }
+
+  /// Discards everything gathered so far (used to drop warm-up samples).
+  void reset() {
+    per_class_.clear();
+    overall_ = {};
+    completed_ = 0;
+    rejected_ = 0;
+  }
+
+ private:
+  std::map<int, sim::OnlineStats> per_class_;
+  sim::OnlineStats overall_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace rdmamon::web

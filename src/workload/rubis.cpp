@@ -1,0 +1,90 @@
+#include "workload/rubis.hpp"
+
+#include <algorithm>
+
+namespace rdmamon::workload {
+
+const char* to_string(RubisQuery q) {
+  switch (q) {
+    case RubisQuery::Home: return "Home";
+    case RubisQuery::Browse: return "Browse";
+    case RubisQuery::BrowseRegions: return "BrowseRegions";
+    case RubisQuery::BrowseCategoriesInRegion: return "BrowseCatgryReg";
+    case RubisQuery::SearchItemsInRegion: return "SearchItemsReg";
+    case RubisQuery::PutBidAuth: return "PutBidAuth";
+    case RubisQuery::Sell: return "Sell";
+    case RubisQuery::AboutMe: return "About Me (auth)";
+  }
+  return "?";
+}
+
+const std::array<RubisDemand, kRubisQueryCount>& rubis_demands() {
+  using sim::msec;
+  using sim::usec;
+  // Calibrated so unloaded responses match Table 1's RDMA-Sync column
+  // (avg 2-16 ms): Home/Browse/PutBid/AboutMe are light, BrowseRegions
+  // mid-weight, BrowseCategoriesInRegion the heavy region join.
+  static const std::array<RubisDemand, kRubisQueryCount> table = {{
+      // php_cpu      db_cpu      db_io       reply    mix
+      {usec(800), usec(600), usec(900), 4'096, 0.16},    // Home
+      {usec(900), usec(800), usec(700), 8'192, 0.22},    // Browse
+      {usec(1'400), usec(1'600), msec(1), 12'288, 0.14}, // BrowseRegions
+      {usec(3'500), usec(6'000), msec(5), 16'384, 0.08}, // BrowseCatgryReg
+      {usec(1'100), usec(1'300), usec(900), 12'288, 0.16}, // SearchItemsReg
+      {usec(900), usec(800), usec(600), 2'048, 0.10},    // PutBidAuth
+      {usec(800), usec(700), usec(500), 2'048, 0.06},    // Sell
+      {usec(900), usec(700), usec(600), 6'144, 0.08},    // About Me
+  }};
+  return table;
+}
+
+const RubisDemand& demand_of(RubisQuery q) {
+  return rubis_demands()[static_cast<std::size_t>(q)];
+}
+
+RubisWorkload::RubisWorkload() {
+  double acc = 0.0;
+  const auto& d = rubis_demands();
+  for (int i = 0; i < kRubisQueryCount; ++i) {
+    acc += d[static_cast<std::size_t>(i)].mix;
+    cum_mix_[static_cast<std::size_t>(i)] = acc;
+  }
+  // Normalise in case the mix does not sum exactly to 1.
+  for (auto& c : cum_mix_) c /= acc;
+}
+
+RubisQuery RubisWorkload::sample_query(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  for (int i = 0; i < kRubisQueryCount; ++i) {
+    if (u <= cum_mix_[static_cast<std::size_t>(i)]) {
+      return static_cast<RubisQuery>(i);
+    }
+  }
+  return RubisQuery::AboutMe;
+}
+
+RubisWorkload::Instance RubisWorkload::instance_of(RubisQuery q,
+                                                   sim::Rng& rng) const {
+  const RubisDemand& d = demand_of(q);
+  // Dynamic pages vary: exponential factor with mean 1, capped at 3x
+  // (dynamic-page cost spread without drowning load-balancing effects in
+  // single-request tails).
+  const double f = std::min(rng.exponential(1.0), 3.0);
+  auto scale = [f](sim::Duration v) {
+    return sim::nsec(static_cast<std::int64_t>(
+        static_cast<double>(v.ns) * (0.5 + 0.5 * f)));
+  };
+  Instance inst;
+  inst.query = q;
+  inst.php_cpu = scale(d.php_cpu);
+  inst.db_cpu = scale(d.db_cpu);
+  inst.db_io = scale(d.db_io);
+  inst.reply_bytes = d.reply_bytes;
+  return inst;
+}
+
+RubisWorkload::Instance RubisWorkload::sample_instance(sim::Rng& rng) const {
+  return instance_of(sample_query(rng), rng);
+}
+
+}  // namespace rdmamon::workload

@@ -1,0 +1,79 @@
+// RUBiS auction workload model: the eight query classes of the paper's
+// Table 1 with per-class PHP/MySQL service demands and a browsing mix.
+// Demands are calibrated so that unloaded per-class response times land in
+// the few-millisecond range the paper reports.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace rdmamon::workload {
+
+enum class RubisQuery : int {
+  Home = 0,
+  Browse,
+  BrowseRegions,
+  BrowseCategoriesInRegion,
+  SearchItemsInRegion,
+  PutBidAuth,
+  Sell,
+  AboutMe,
+};
+constexpr int kRubisQueryCount = 8;
+
+inline constexpr std::array<RubisQuery, kRubisQueryCount> kAllRubisQueries = {
+    RubisQuery::Home,
+    RubisQuery::Browse,
+    RubisQuery::BrowseRegions,
+    RubisQuery::BrowseCategoriesInRegion,
+    RubisQuery::SearchItemsInRegion,
+    RubisQuery::PutBidAuth,
+    RubisQuery::Sell,
+    RubisQuery::AboutMe,
+};
+
+const char* to_string(RubisQuery q);
+
+/// Per-class service demands at the back end.
+struct RubisDemand {
+  sim::Duration php_cpu{};   ///< Apache/PHP CPU burst
+  sim::Duration db_cpu{};    ///< MySQL CPU burst
+  sim::Duration db_io{};     ///< MySQL I/O wait (no CPU)
+  std::size_t reply_bytes = 0;
+  double mix = 0.0;          ///< probability in the browsing mix
+};
+
+/// The calibrated demand table (see rubis.cpp for the numbers).
+const std::array<RubisDemand, kRubisQueryCount>& rubis_demands();
+
+/// Demand of one class.
+const RubisDemand& demand_of(RubisQuery q);
+
+/// Samples queries according to the browsing mix, with per-request
+/// exponential variation around the mean demands (dynamic pages vary).
+class RubisWorkload {
+ public:
+  RubisWorkload();
+
+  RubisQuery sample_query(sim::Rng& rng) const;
+
+  /// Resolved demands for one request instance of class `q` (mean demands
+  /// scaled by an exponential factor, capped to avoid absurd outliers).
+  struct Instance {
+    RubisQuery query;
+    sim::Duration php_cpu;
+    sim::Duration db_cpu;
+    sim::Duration db_io;
+    std::size_t reply_bytes;
+  };
+  Instance sample_instance(sim::Rng& rng) const;
+  Instance instance_of(RubisQuery q, sim::Rng& rng) const;
+
+ private:
+  std::array<double, kRubisQueryCount> cum_mix_{};
+};
+
+}  // namespace rdmamon::workload

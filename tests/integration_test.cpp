@@ -1,0 +1,154 @@
+// Whole-system integration: long mixed-workload runs with disturbances,
+// Ganglia and reconfiguration all active at once, checking end-state
+// consistency (queues drained, counters balanced, memory returned).
+#include <gtest/gtest.h>
+
+#include "ganglia/ganglia.hpp"
+#include "monitor/push.hpp"
+#include "reconfig/reconfig.hpp"
+#include "web/cluster.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rdmamon {
+namespace {
+
+using monitor::Scheme;
+using sim::msec;
+using sim::seconds;
+
+TEST(Integration, MixedWorkloadSoakStaysConsistent) {
+  sim::Simulation simu;
+  web::ClusterConfig cfg;
+  cfg.backends = 6;
+  cfg.scheme = Scheme::ERdmaSync;
+  web::ClusterTestbed bed(simu, cfg);
+
+  web::ClientGroupConfig ccfg;
+  ccfg.threads_per_node = 8;
+  ccfg.think = msec(10);
+  web::ClientGroup& rubis =
+      bed.add_clients(3, web::make_rubis_generator(), ccfg);
+  auto trace = std::make_shared<workload::ZipfTrace>(
+      workload::ZipfTraceConfig{}, 5);
+  web::ClientGroup& zipf =
+      bed.add_clients(3, web::make_zipf_generator(trace), ccfg);
+
+  os::Node storage(simu, {.name = "storage"});
+  bed.fabric().attach(storage);
+  workload::DisturbanceGenerator disturb(bed.fabric(), bed.backend_ptrs(),
+                                         storage, {}, sim::Rng(21));
+
+  // Ganglia across the whole cluster at the same time.
+  std::vector<os::Node*> gnodes = bed.backend_ptrs();
+  gnodes.push_back(&bed.frontend());
+  ganglia::GangliaConfig gcfg;
+  gcfg.collect_period = seconds(2);
+  ganglia::GangliaCluster gang(bed.fabric(), gnodes, gcfg);
+
+  simu.run_for(seconds(30));
+
+  // Liveness: sustained throughput, every class served.
+  EXPECT_GT(rubis.stats().completed(), 10'000u);
+  EXPECT_GT(zipf.stats().completed(), 10'000u);
+  EXPECT_GE(disturb.events(), 10u);
+  for (auto q : workload::kAllRubisQueries) {
+    EXPECT_GT(rubis.stats().by_class(static_cast<int>(q)).count(), 100u);
+  }
+
+  // Consistency on every node at an arbitrary cut point.
+  for (int i = 0; i < bed.backend_count(); ++i) {
+    const os::KernelStats& st = bed.backend(i).stats();
+    EXPECT_GE(st.nr_running(), 0);
+    EXPECT_LE(st.nr_running(), st.nr_threads());
+    EXPECT_LE(st.memory_used(), st.memory_total());
+    EXPECT_GE(st.connections(), 0);
+  }
+
+  // Balance: no back end was starved or mobbed beyond 2.5x.
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (auto n : bed.dispatcher().per_backend()) {
+    lo = std::min(lo, n);
+    hi = std::max(hi, n);
+  }
+  EXPECT_GT(lo, 0u);
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 2.5);
+
+  // Ganglia learned about every back end.
+  int known = 0;
+  for (int i = 0; i < bed.backend_count(); ++i) {
+    if (gang.daemon(static_cast<int>(gnodes.size()) - 1)
+            .lookup(bed.backend(i).config().name, "cpu_load") != nullptr) {
+      ++known;
+    }
+  }
+  EXPECT_EQ(known, bed.backend_count());
+}
+
+TEST(Integration, QuiescenceAfterLoadStops) {
+  // Once clients stop issuing (closed loop drains), backend queues empty
+  // and transient request memory is returned.
+  sim::Simulation simu;
+  web::ClusterConfig cfg;
+  cfg.backends = 3;
+  cfg.scheme = Scheme::RdmaSync;
+  web::ClusterTestbed bed(simu, cfg);
+  web::ClientGroupConfig ccfg;
+  ccfg.threads_per_node = 4;
+  ccfg.think = seconds(3600);  // effectively: one request per client
+  web::ClientGroup& g = bed.add_clients(2, web::make_rubis_generator(), ccfg);
+  simu.run_for(seconds(5));
+  EXPECT_EQ(g.stats().completed(), 8u);  // 2 nodes x 4 threads, one each
+  for (int i = 0; i < bed.backend_count(); ++i) {
+    EXPECT_EQ(bed.server(i).queue_depth(), 0u);
+    EXPECT_EQ(bed.backend(i).stats().memory_used(), 0u);
+    EXPECT_EQ(bed.backend(i).stats().nr_running(), 0);
+  }
+}
+
+TEST(Integration, ReconfigurationAndMonitoringCoexist) {
+  // A reconfiguration manager and a load balancer watching the same nodes
+  // through independent channels must not interfere.
+  sim::Simulation simu;
+  net::Fabric fabric(simu, {});
+  os::Node frontend(simu, {.name = "fe"});
+  fabric.attach(frontend);
+  std::vector<std::unique_ptr<os::Node>> nodes;
+  std::vector<std::unique_ptr<reconfig::RoleRegion>> roles;
+  reconfig::ReconfigConfig rcfg;
+  rcfg.monitor.scheme = Scheme::RdmaSync;
+  reconfig::ReconfigManager mgr(fabric, frontend, rcfg);
+  lb::LoadBalancer balancer(lb::WeightConfig::for_scheme(Scheme::RdmaSync));
+  for (int i = 0; i < 4; ++i) {
+    os::NodeConfig ncfg;
+    ncfg.name = "be" + std::to_string(i);
+    nodes.push_back(std::make_unique<os::Node>(simu, ncfg));
+    fabric.attach(*nodes.back());
+    roles.push_back(std::make_unique<reconfig::RoleRegion>(
+        fabric, *nodes.back(),
+        i < 2 ? reconfig::Role::ServiceA : reconfig::Role::ServiceB));
+    mgr.add_backend(*roles.back());
+    monitor::MonitorConfig mcfg;
+    mcfg.scheme = Scheme::RdmaSync;
+    balancer.add_backend(std::make_unique<monitor::MonitorChannel>(
+        fabric, frontend, *nodes.back(), mcfg));
+  }
+  mgr.start();
+  balancer.start(frontend, msec(50));
+  // Load service A's nodes.
+  for (int i = 0; i < 2; ++i) {
+    for (int k = 0; k < 6; ++k) {
+      nodes[static_cast<std::size_t>(i)]->spawn(
+          "hog", [](os::SimThread&) -> os::Program {
+            for (;;) co_await os::Compute{seconds(100)};
+          });
+    }
+  }
+  simu.run_for(seconds(3));
+  EXPECT_GE(mgr.reconfigurations(), 1u);
+  // Both observers see the hogs on node 0.
+  EXPECT_GT(balancer.index_of(0), 0.5);
+  EXPECT_GT(mgr.pool_load(reconfig::Role::ServiceA), 0.3);
+}
+
+}  // namespace
+}  // namespace rdmamon

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include <any>
+#include <string>
+
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "net/socket.hpp"
+#include "net/verbs.hpp"
+#include "os/node.hpp"
+#include "sim/simulation.hpp"
+
+namespace rdmamon::net {
+namespace {
+
+using os::Compute;
+using os::NodeConfig;
+using os::Program;
+using os::SimThread;
+using os::SleepFor;
+using sim::msec;
+using sim::seconds;
+using sim::usec;
+
+struct TwoNodes {
+  sim::Simulation simu;
+  FabricConfig fcfg;
+  Fabric fabric;
+  os::Node a, b;
+
+  explicit TwoNodes(NodeConfig ncfg = {}, FabricConfig fc = {})
+      : fcfg(fc), fabric(simu, fc), a(simu, ncfg), b(simu, ncfg) {
+    fabric.attach(a);
+    fabric.attach(b);
+  }
+};
+
+TEST(Fabric, AssignsNodeIds) {
+  TwoNodes env;
+  EXPECT_EQ(env.a.id, 0);
+  EXPECT_EQ(env.b.id, 1);
+  EXPECT_EQ(env.fabric.num_nodes(), 2);
+}
+
+TEST(Fabric, ConnectRequiresAttachedNodes) {
+  sim::Simulation simu;
+  Fabric fabric(simu, {});
+  os::Node n1(simu, {}), n2(simu, {});
+  EXPECT_THROW(fabric.connect(n1, n2), std::logic_error);
+}
+
+TEST(Fabric, ConnectionBumpsConnectionCounters) {
+  TwoNodes env;
+  EXPECT_EQ(env.a.stats().connections(), 0);
+  env.fabric.connect(env.a, env.b);
+  EXPECT_EQ(env.a.stats().connections(), 1);
+  EXPECT_EQ(env.b.stats().connections(), 1);
+}
+
+TEST(Socket, RoundTripDeliversPayload) {
+  TwoNodes env;
+  Connection& conn = env.fabric.connect(env.a, env.b);
+  std::string got;
+  std::int64_t rtt = -1;
+  // Echo server on b.
+  env.b.spawn("server", [&](SimThread& self) -> Program {
+    Message req;
+    co_await conn.end_b().recv(self, req);
+    co_await conn.end_b().send(self, 64,
+                               std::any_cast<std::string>(req.payload));
+  });
+  env.a.spawn("client", [&](SimThread& self) -> Program {
+    const sim::TimePoint t0 = env.simu.now();
+    co_await conn.end_a().send(self, 64, std::string("hello"));
+    Message rep;
+    co_await conn.end_a().recv(self, rep);
+    got = std::any_cast<std::string>(rep.payload);
+    rtt = (env.simu.now() - t0).ns;
+  });
+  env.simu.run_for(seconds(1));
+  EXPECT_EQ(got, "hello");
+  ASSERT_GT(rtt, 0);
+  // Unloaded RTT should be tens of microseconds (IPoIB-era).
+  EXPECT_GT(rtt, usec(20).ns);
+  EXPECT_LT(rtt, usec(200).ns);
+}
+
+TEST(Socket, ManyMessagesArriveInOrder) {
+  TwoNodes env;
+  Connection& conn = env.fabric.connect(env.a, env.b);
+  std::vector<int> received;
+  env.b.spawn("rx", [&](SimThread& self) -> Program {
+    for (int i = 0; i < 20; ++i) {
+      Message m;
+      co_await conn.end_b().recv(self, m);
+      received.push_back(std::any_cast<int>(m.payload));
+    }
+  });
+  env.a.spawn("tx", [&](SimThread& self) -> Program {
+    for (int i = 0; i < 20; ++i) {
+      co_await conn.end_a().send(self, 256, i);
+    }
+  });
+  env.simu.run_for(seconds(1));
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST(Socket, ReceivePathCountsBytesAndPackets) {
+  TwoNodes env;
+  Connection& conn = env.fabric.connect(env.a, env.b);
+  env.a.spawn("tx", [&](SimThread& self) -> Program {
+    co_await conn.end_a().send(self, 1000, 1);
+  });
+  env.b.spawn("rx", [&](SimThread& self) -> Program {
+    Message m;
+    co_await conn.end_b().recv(self, m);
+  });
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(env.fabric.nic(0).tx_packets(), 1u);
+  EXPECT_EQ(env.fabric.nic(1).rx_packets(), 1u);
+  EXPECT_GT(env.b.stats().net_rate(env.simu.now()), 0.0);
+}
+
+TEST(Rdma, ReadReturnsValueAtDmaInstant) {
+  TwoNodes env;
+  int counter = 7;
+  MrKey key = env.fabric.nic(1).register_mr(
+      128, [&counter] { return std::any(counter); });
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  Completion out;
+  std::int64_t latency = -1;
+  env.a.spawn("reader", [&](SimThread& self) -> Program {
+    const sim::TimePoint t0 = env.simu.now();
+    co_await rdma_read_sync(self, qp, key, 128, out);
+    latency = (env.simu.now() - t0).ns;
+  });
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(out.status, WcStatus::Success);
+  EXPECT_EQ(std::any_cast<int>(out.data), 7);
+  // One-sided READ is single-digit microseconds, far below socket RTT.
+  EXPECT_GT(latency, usec(2).ns);
+  EXPECT_LT(latency, usec(30).ns);
+}
+
+TEST(Rdma, ReadSamplesCurrentNotStaleValue) {
+  TwoNodes env;
+  int counter = 0;
+  MrKey key = env.fabric.nic(1).register_mr(
+      64, [&counter] { return std::any(counter); });
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  // The target value changes at 5ms; a read issued at 10ms must see it.
+  env.simu.after(msec(5), [&] { counter = 42; });
+  Completion out;
+  env.a.spawn("reader", [&](SimThread& self) -> Program {
+    co_await SleepFor{msec(10)};
+    co_await rdma_read_sync(self, qp, key, 64, out);
+  });
+  env.simu.run_for(msec(20));
+  EXPECT_EQ(std::any_cast<int>(out.data), 42);
+}
+
+TEST(Rdma, WriteToReadOnlyRegionFailsWithProtectionError) {
+  TwoNodes env;
+  int kernel_value = 1;
+  MrKey key = env.fabric.nic(1).register_mr(
+      64, [&] { return std::any(kernel_value); },
+      /*remote_writable=*/false);
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  Completion out;
+  env.a.spawn("writer", [&](SimThread& self) -> Program {
+    co_await rdma_write_sync(self, qp, key, std::any(99), 64, out);
+  });
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(out.status, WcStatus::ProtectionError);
+  EXPECT_EQ(kernel_value, 1);  // unchanged: region is read-only
+}
+
+TEST(Rdma, WriteToWritableRegionApplies) {
+  TwoNodes env;
+  int value = 1;
+  MrKey key = env.fabric.nic(1).register_mr(
+      64, [&] { return std::any(value); },
+      /*remote_writable=*/true,
+      [&](const std::any& v) { value = std::any_cast<int>(v); });
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  Completion out;
+  env.a.spawn("writer", [&](SimThread& self) -> Program {
+    co_await rdma_write_sync(self, qp, key, std::any(99), 64, out);
+  });
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(out.status, WcStatus::Success);
+  EXPECT_EQ(value, 99);
+}
+
+TEST(Rdma, InvalidKeyCompletesWithError) {
+  TwoNodes env;
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  Completion out;
+  env.a.spawn("reader", [&](SimThread& self) -> Program {
+    co_await rdma_read_sync(self, qp, MrKey{9999}, 64, out);
+  });
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(out.status, WcStatus::InvalidKey);
+}
+
+TEST(Rdma, LatencyUnaffectedByTargetCpuLoad) {
+  // The paper's headline micro-benchmark property (Fig 3, RDMA half).
+  auto measure = [](int hogs) {
+    TwoNodes env;
+    for (int i = 0; i < hogs; ++i) {
+      env.b.spawn("hog" + std::to_string(i), [](SimThread&) -> Program {
+        for (;;) co_await Compute{seconds(10)};
+      });
+    }
+    MrKey key =
+        env.fabric.nic(1).register_mr(128, [] { return std::any(1); });
+    CompletionQueue cq;
+    QueuePair qp(env.fabric.nic(0), 1, cq);
+    double total = 0;
+    int n = 0;
+    env.a.spawn("reader", [&](SimThread& self) -> Program {
+      for (int i = 0; i < 50; ++i) {
+        co_await SleepFor{msec(10)};
+        Completion out;
+        const sim::TimePoint t0 = env.simu.now();
+        co_await rdma_read_sync(self, qp, key, 128, out);
+        total += (env.simu.now() - t0).seconds();
+        ++n;
+      }
+    });
+    env.simu.run_for(seconds(2));
+    return total / n;
+  };
+  const double unloaded = measure(0);
+  const double loaded = measure(16);
+  EXPECT_NEAR(loaded, unloaded, unloaded * 0.05);
+}
+
+TEST(Socket, LatencyDegradesWithTargetCpuLoad) {
+  // The other half of Fig 3: socket ping-pong RTT inflates when the
+  // server node is saturated with runnable threads.
+  auto measure = [](int hogs) {
+    TwoNodes env;
+    Connection& conn = env.fabric.connect(env.a, env.b);
+    for (int i = 0; i < hogs; ++i) {
+      env.b.spawn("hog" + std::to_string(i), [](SimThread&) -> Program {
+        for (;;) co_await Compute{seconds(10)};
+      });
+    }
+    env.b.spawn("echo", [&](SimThread& self) -> Program {
+      for (;;) {
+        Message m;
+        co_await conn.end_b().recv(self, m);
+        co_await conn.end_b().send(self, 64, 0);
+      }
+    });
+    double total = 0;
+    int n = 0;
+    env.a.spawn("client", [&](SimThread& self) -> Program {
+      for (int i = 0; i < 20; ++i) {
+        co_await SleepFor{msec(20)};
+        const sim::TimePoint t0 = env.simu.now();
+        co_await conn.end_a().send(self, 64, 0);
+        Message rep;
+        co_await conn.end_a().recv(self, rep);
+        total += (env.simu.now() - t0).seconds();
+        ++n;
+      }
+    });
+    env.simu.run_for(seconds(2));
+    return total / n;
+  };
+  const double unloaded = measure(0);
+  const double loaded = measure(8);
+  EXPECT_GT(loaded, unloaded * 3);
+}
+
+TEST(Nic, TxSerializesAtLinkBandwidth) {
+  FabricConfig fc;
+  fc.bandwidth_bps = 1e9;  // 1 GB/s for round numbers
+  TwoNodes env({}, fc);
+  Connection& conn = env.fabric.connect(env.a, env.b);
+  std::vector<std::int64_t> arrivals;
+  env.b.spawn("rx", [&](SimThread& self) -> Program {
+    for (int i = 0; i < 2; ++i) {
+      Message m;
+      co_await conn.end_b().recv(self, m);
+      arrivals.push_back(env.simu.now().ns);
+    }
+  });
+  env.a.spawn("tx", [&](SimThread& self) -> Program {
+    // Two 1MB messages back to back: second must arrive ~1ms later.
+    co_await conn.end_a().send(self, 1'000'000, 0);
+    co_await conn.end_a().send(self, 1'000'000, 1);
+  });
+  env.simu.run_for(seconds(1));
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_GT(arrivals[1] - arrivals[0], msec(1).ns / 2);
+}
+
+}  // namespace
+}  // namespace rdmamon::net

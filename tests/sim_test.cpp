@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "sim/trace.hpp"
+
+namespace rdmamon::sim {
+namespace {
+
+TEST(Time, ArithmeticAndConversions) {
+  EXPECT_EQ((msec(3) + usec(500)).ns, 3'500'000);
+  EXPECT_EQ((seconds(1) - msec(1)).ns, 999'000'000);
+  EXPECT_DOUBLE_EQ(msec(250).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(usec(1500).millis(), 1.5);
+  TimePoint t{1000};
+  EXPECT_EQ((t + usec(1)).ns, 2'000);
+  EXPECT_EQ(((t + usec(1)) - t).ns, usec(1).ns);
+}
+
+TEST(Time, FractionalFactories) {
+  EXPECT_EQ(from_millis(0.5).ns, 500'000);
+  EXPECT_EQ(from_seconds(0.001).ns, 1'000'000);
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(TimePoint{30}, [&] { order.push_back(3); });
+  q.schedule(TimePoint{10}, [&] { order.push_back(1); });
+  q.schedule(TimePoint{20}, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(TimePoint{100}, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  EventHandle h = q.schedule(TimePoint{10}, [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  EventHandle h = q.schedule(TimePoint{10}, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash or corrupt
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulation, RunUntilAdvancesClock) {
+  Simulation s;
+  int fired = 0;
+  s.after(msec(5), [&] { ++fired; });
+  s.after(msec(50), [&] { ++fired; });
+  s.run_until(TimePoint{} + msec(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now().ns, msec(10).ns);
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now().ns, msec(50).ns);
+}
+
+TEST(Simulation, RejectsPastScheduling) {
+  Simulation s;
+  s.after(msec(1), [] {});
+  s.run();
+  EXPECT_THROW(s.at(TimePoint{}, [] {}), std::logic_error);
+  EXPECT_THROW(s.after(Duration{-5}, [] {}), std::logic_error);
+}
+
+TEST(Simulation, StopInsideCallback) {
+  Simulation s;
+  int fired = 0;
+  s.after(msec(1), [&] {
+    ++fired;
+    s.stop();
+  });
+  s.after(msec(2), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  s.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, NestedSchedulingFromCallbacks) {
+  Simulation s;
+  std::vector<std::int64_t> times;
+  std::function<void(int)> chain = [&](int depth) {
+    times.push_back(s.now().ns);
+    if (depth < 4) s.after(usec(10), [&, depth] { chain(depth + 1); });
+  };
+  s.after(usec(0), [&] { chain(0); });
+  s.run();
+  ASSERT_EQ(times.size(), 5u);
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_EQ(times[i], static_cast<std::int64_t>(i) * 10'000);
+  }
+}
+
+TEST(Random, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Random, SplitStreamsDiffer) {
+  Rng a(42);
+  Rng child = a.split();
+  bool any_diff = false;
+  Rng b(42);
+  Rng child2 = b.split();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(child.uniform(), child2.uniform());  // reproducible
+  }
+  Rng c(42);
+  for (int i = 0; i < 10; ++i) {
+    if (child.uniform() != c.uniform()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Random, UniformBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const auto k = r.uniform_int(3, 9);
+    EXPECT_GE(k, 3);
+    EXPECT_LE(k, 9);
+  }
+}
+
+TEST(Random, ExponentialMeanConverges) {
+  Rng r(11);
+  OnlineStats st;
+  for (int i = 0; i < 200'000; ++i) st.add(r.exponential(5.0));
+  EXPECT_NEAR(st.mean(), 5.0, 0.1);
+}
+
+TEST(Random, NormalMoments) {
+  Rng r(13);
+  OnlineStats st;
+  for (int i = 0; i < 200'000; ++i) st.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(st.mean(), 10.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Random, BoundedParetoStaysInBounds) {
+  Rng r(17);
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = r.bounded_pareto(1.2, 1'000.0, 1'000'000.0);
+    EXPECT_GE(v, 1'000.0);
+    EXPECT_LE(v, 1'000'000.0 * (1 + 1e-9));
+  }
+}
+
+TEST(Zipf, PmfMatchesEmpiricalFrequencies) {
+  const std::size_t n = 100;
+  ZipfDistribution z(n, 0.8);
+  Rng r(19);
+  std::vector<int> counts(n + 1, 0);
+  const int samples = 400'000;
+  for (int i = 0; i < samples; ++i) ++counts[z.sample(r)];
+  // Rank 1 should be the most popular and match pmf within a few percent.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / samples, z.pmf(1), 0.01);
+  EXPECT_GT(counts[1], counts[50]);
+  double total_pmf = 0;
+  for (std::size_t i = 1; i <= n; ++i) total_pmf += z.pmf(i);
+  EXPECT_NEAR(total_pmf, 1.0, 1e-9);
+}
+
+TEST(Zipf, HigherAlphaConcentratesMass) {
+  ZipfDistribution lo(1000, 0.25), hi(1000, 0.9);
+  EXPECT_GT(hi.pmf(1), lo.pmf(1));
+}
+
+TEST(Stats, OnlineMeanVarianceMinMax) {
+  OnlineStats st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_EQ(st.count(), 8u);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  OnlineStats a, b, all;
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.normal(0, 1);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, HistogramPercentiles) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.percentile(0.5), 500.0, 500.0 * 0.10);
+  EXPECT_NEAR(h.percentile(0.99), 990.0, 990.0 * 0.10);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+}
+
+TEST(Stats, HistogramMergeAndReset) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.add(10.0);
+  for (int i = 0; i < 100; ++i) b.add(1000.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_GT(a.percentile(0.9), 500.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.percentile(0.5), 0.0);
+}
+
+TEST(Stats, TimeWeightedMean) {
+  TimeWeighted tw;
+  tw.set(TimePoint{0}, 0.0);
+  tw.set(TimePoint{100}, 1.0);   // 0 for 100ns
+  tw.set(TimePoint{300}, 0.5);   // 1 for 200ns
+  // then 0.5 for 100ns until t=400
+  EXPECT_NEAR(tw.mean_until(TimePoint{400}), (0 * 100 + 1 * 200 + 0.5 * 100) / 400.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tw.current(), 0.5);
+}
+
+TEST(Stats, TimeSeriesAggregates) {
+  TimeSeries ts;
+  ts.add(TimePoint{1}, 2.0);
+  ts.add(TimePoint{2}, 6.0);
+  EXPECT_DOUBLE_EQ(ts.value_mean(), 4.0);
+  EXPECT_DOUBLE_EQ(ts.value_max(), 6.0);
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(Trace, RoutesThroughSinkWithTimestamp) {
+  Simulation s;
+  Tracer tr;
+  std::vector<std::string> lines;
+  tr.enable(
+      TraceLevel::Info, [&](const std::string& l) { lines.push_back(l); },
+      [&] { return s.now(); });
+  tr.debug("x", "hidden");  // below level
+  tr.info("net", "packet sent");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("[net]"), std::string::npos);
+  EXPECT_NE(lines[0].find("packet sent"), std::string::npos);
+  tr.disable();
+  tr.warn("net", "dropped");
+  EXPECT_EQ(lines.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdmamon::sim
