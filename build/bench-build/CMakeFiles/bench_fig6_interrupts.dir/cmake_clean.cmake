@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_interrupts"
+  "../bench/bench_fig6_interrupts.pdb"
+  "CMakeFiles/bench_fig6_interrupts.dir/bench_fig6_interrupts.cpp.o"
+  "CMakeFiles/bench_fig6_interrupts.dir/bench_fig6_interrupts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_zipf"
+  "../bench/bench_fig7_zipf.pdb"
+  "CMakeFiles/bench_fig7_zipf.dir/bench_fig7_zipf.cpp.o"
+  "CMakeFiles/bench_fig7_zipf.dir/bench_fig7_zipf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_ganglia"
+  "../bench/bench_fig8_ganglia.pdb"
+  "CMakeFiles/bench_fig8_ganglia.dir/bench_fig8_ganglia.cpp.o"
+  "CMakeFiles/bench_fig8_ganglia.dir/bench_fig8_ganglia.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ganglia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_finegrain"
+  "../bench/bench_fig9_finegrain.pdb"
+  "CMakeFiles/bench_fig9_finegrain.dir/bench_fig9_finegrain.cpp.o"
+  "CMakeFiles/bench_fig9_finegrain.dir/bench_fig9_finegrain.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_finegrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_rubis"
+  "../bench/bench_table1_rubis.pdb"
+  "CMakeFiles/bench_table1_rubis.dir/bench_table1_rubis.cpp.o"
+  "CMakeFiles/bench_table1_rubis.dir/bench_table1_rubis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rubis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

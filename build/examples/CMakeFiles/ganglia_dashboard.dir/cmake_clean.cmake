@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ganglia_dashboard.dir/ganglia_dashboard.cpp.o"
+  "CMakeFiles/ganglia_dashboard.dir/ganglia_dashboard.cpp.o.d"
+  "ganglia_dashboard"
+  "ganglia_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ganglia_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_comparison.dir/monitor_comparison.cpp.o"
+  "CMakeFiles/monitor_comparison.dir/monitor_comparison.cpp.o.d"
+  "monitor_comparison"
+  "monitor_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rubis_cluster.dir/rubis_cluster.cpp.o"
+  "CMakeFiles/rubis_cluster.dir/rubis_cluster.cpp.o.d"
+  "rubis_cluster"
+  "rubis_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rubis_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ganglia/ganglia.cpp" "src/ganglia/CMakeFiles/rdmamon_ganglia.dir/ganglia.cpp.o" "gcc" "src/ganglia/CMakeFiles/rdmamon_ganglia.dir/ganglia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/monitor/CMakeFiles/rdmamon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdmamon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rdmamon_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmamon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmamon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

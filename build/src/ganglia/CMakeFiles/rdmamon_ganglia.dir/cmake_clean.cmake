@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_ganglia.dir/ganglia.cpp.o"
+  "CMakeFiles/rdmamon_ganglia.dir/ganglia.cpp.o.d"
+  "librdmamon_ganglia.a"
+  "librdmamon_ganglia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_ganglia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

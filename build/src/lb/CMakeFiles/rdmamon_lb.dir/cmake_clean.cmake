@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_lb.dir/balancer.cpp.o"
+  "CMakeFiles/rdmamon_lb.dir/balancer.cpp.o.d"
+  "CMakeFiles/rdmamon_lb.dir/dispatcher.cpp.o"
+  "CMakeFiles/rdmamon_lb.dir/dispatcher.cpp.o.d"
+  "librdmamon_lb.a"
+  "librdmamon_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

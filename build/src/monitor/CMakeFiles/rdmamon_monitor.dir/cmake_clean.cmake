@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_monitor.dir/monitor.cpp.o"
+  "CMakeFiles/rdmamon_monitor.dir/monitor.cpp.o.d"
+  "CMakeFiles/rdmamon_monitor.dir/push.cpp.o"
+  "CMakeFiles/rdmamon_monitor.dir/push.cpp.o.d"
+  "librdmamon_monitor.a"
+  "librdmamon_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/rdmamon_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/rdmamon_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/rdmamon_net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/rdmamon_net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/rdmamon_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/rdmamon_net.dir/socket.cpp.o.d"
+  "/root/repo/src/net/verbs.cpp" "src/net/CMakeFiles/rdmamon_net.dir/verbs.cpp.o" "gcc" "src/net/CMakeFiles/rdmamon_net.dir/verbs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/rdmamon_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmamon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmamon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_net.dir/fabric.cpp.o"
+  "CMakeFiles/rdmamon_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/rdmamon_net.dir/nic.cpp.o"
+  "CMakeFiles/rdmamon_net.dir/nic.cpp.o.d"
+  "CMakeFiles/rdmamon_net.dir/socket.cpp.o"
+  "CMakeFiles/rdmamon_net.dir/socket.cpp.o.d"
+  "CMakeFiles/rdmamon_net.dir/verbs.cpp.o"
+  "CMakeFiles/rdmamon_net.dir/verbs.cpp.o.d"
+  "librdmamon_net.a"
+  "librdmamon_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/interrupts.cpp" "src/os/CMakeFiles/rdmamon_os.dir/interrupts.cpp.o" "gcc" "src/os/CMakeFiles/rdmamon_os.dir/interrupts.cpp.o.d"
+  "/root/repo/src/os/kernel_stats.cpp" "src/os/CMakeFiles/rdmamon_os.dir/kernel_stats.cpp.o" "gcc" "src/os/CMakeFiles/rdmamon_os.dir/kernel_stats.cpp.o.d"
+  "/root/repo/src/os/node.cpp" "src/os/CMakeFiles/rdmamon_os.dir/node.cpp.o" "gcc" "src/os/CMakeFiles/rdmamon_os.dir/node.cpp.o.d"
+  "/root/repo/src/os/procfs.cpp" "src/os/CMakeFiles/rdmamon_os.dir/procfs.cpp.o" "gcc" "src/os/CMakeFiles/rdmamon_os.dir/procfs.cpp.o.d"
+  "/root/repo/src/os/scheduler.cpp" "src/os/CMakeFiles/rdmamon_os.dir/scheduler.cpp.o" "gcc" "src/os/CMakeFiles/rdmamon_os.dir/scheduler.cpp.o.d"
+  "/root/repo/src/os/thread.cpp" "src/os/CMakeFiles/rdmamon_os.dir/thread.cpp.o" "gcc" "src/os/CMakeFiles/rdmamon_os.dir/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rdmamon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdmamon_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_os.dir/interrupts.cpp.o"
+  "CMakeFiles/rdmamon_os.dir/interrupts.cpp.o.d"
+  "CMakeFiles/rdmamon_os.dir/kernel_stats.cpp.o"
+  "CMakeFiles/rdmamon_os.dir/kernel_stats.cpp.o.d"
+  "CMakeFiles/rdmamon_os.dir/node.cpp.o"
+  "CMakeFiles/rdmamon_os.dir/node.cpp.o.d"
+  "CMakeFiles/rdmamon_os.dir/procfs.cpp.o"
+  "CMakeFiles/rdmamon_os.dir/procfs.cpp.o.d"
+  "CMakeFiles/rdmamon_os.dir/scheduler.cpp.o"
+  "CMakeFiles/rdmamon_os.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rdmamon_os.dir/thread.cpp.o"
+  "CMakeFiles/rdmamon_os.dir/thread.cpp.o.d"
+  "librdmamon_os.a"
+  "librdmamon_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

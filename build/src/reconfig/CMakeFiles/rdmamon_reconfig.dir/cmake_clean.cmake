@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_reconfig.dir/reconfig.cpp.o"
+  "CMakeFiles/rdmamon_reconfig.dir/reconfig.cpp.o.d"
+  "librdmamon_reconfig.a"
+  "librdmamon_reconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

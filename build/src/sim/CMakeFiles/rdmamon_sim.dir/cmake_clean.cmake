@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/rdmamon_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/rdmamon_sim.dir/random.cpp.o"
+  "CMakeFiles/rdmamon_sim.dir/random.cpp.o.d"
+  "CMakeFiles/rdmamon_sim.dir/simulation.cpp.o"
+  "CMakeFiles/rdmamon_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/rdmamon_sim.dir/stats.cpp.o"
+  "CMakeFiles/rdmamon_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/rdmamon_sim.dir/time.cpp.o"
+  "CMakeFiles/rdmamon_sim.dir/time.cpp.o.d"
+  "CMakeFiles/rdmamon_sim.dir/trace.cpp.o"
+  "CMakeFiles/rdmamon_sim.dir/trace.cpp.o.d"
+  "librdmamon_sim.a"
+  "librdmamon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

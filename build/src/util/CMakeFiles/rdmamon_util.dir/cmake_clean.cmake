@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_util.dir/chart.cpp.o"
+  "CMakeFiles/rdmamon_util.dir/chart.cpp.o.d"
+  "CMakeFiles/rdmamon_util.dir/csv.cpp.o"
+  "CMakeFiles/rdmamon_util.dir/csv.cpp.o.d"
+  "CMakeFiles/rdmamon_util.dir/format.cpp.o"
+  "CMakeFiles/rdmamon_util.dir/format.cpp.o.d"
+  "CMakeFiles/rdmamon_util.dir/table.cpp.o"
+  "CMakeFiles/rdmamon_util.dir/table.cpp.o.d"
+  "librdmamon_util.a"
+  "librdmamon_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_web.dir/client.cpp.o"
+  "CMakeFiles/rdmamon_web.dir/client.cpp.o.d"
+  "CMakeFiles/rdmamon_web.dir/cluster.cpp.o"
+  "CMakeFiles/rdmamon_web.dir/cluster.cpp.o.d"
+  "CMakeFiles/rdmamon_web.dir/server.cpp.o"
+  "CMakeFiles/rdmamon_web.dir/server.cpp.o.d"
+  "librdmamon_web.a"
+  "librdmamon_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdmamon_web.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdmamon_workload.dir/rubis.cpp.o"
+  "CMakeFiles/rdmamon_workload.dir/rubis.cpp.o.d"
+  "CMakeFiles/rdmamon_workload.dir/synthetic.cpp.o"
+  "CMakeFiles/rdmamon_workload.dir/synthetic.cpp.o.d"
+  "CMakeFiles/rdmamon_workload.dir/zipf.cpp.o"
+  "CMakeFiles/rdmamon_workload.dir/zipf.cpp.o.d"
+  "librdmamon_workload.a"
+  "librdmamon_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdmamon_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ganglia.dir/ganglia_test.cpp.o"
+  "CMakeFiles/test_ganglia.dir/ganglia_test.cpp.o.d"
+  "test_ganglia"
+  "test_ganglia.pdb"
+  "test_ganglia[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ganglia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

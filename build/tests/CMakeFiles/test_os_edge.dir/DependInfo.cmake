@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/os_edge_test.cpp" "tests/CMakeFiles/test_os_edge.dir/os_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_os_edge.dir/os_edge_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdmamon_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdmamon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/rdmamon_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rdmamon_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rdmamon_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/rdmamon_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/rdmamon_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/lb/CMakeFiles/rdmamon_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/ganglia/CMakeFiles/rdmamon_ganglia.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconfig/CMakeFiles/rdmamon_reconfig.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_web[1]_include.cmake")
+include("/root/repo/build/tests/test_ganglia[1]_include.cmake")
+include("/root/repo/build/tests/test_lb[1]_include.cmake")
+include("/root/repo/build/tests/test_synthetic[1]_include.cmake")
+include("/root/repo/build/tests/test_reconfig[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_os_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
