@@ -1,0 +1,73 @@
+// Fault injection in ~60 lines: freeze a back end's kernel mid-run and
+// watch Socket-Sync probes time out while RDMA-Sync keeps answering —
+// the paper's one-sided-monitoring claim, then crash it and watch both
+// fail fast (bounded fetch: timeout + retries, never a hang).
+#include <iostream>
+
+#include "fault/fault.hpp"
+#include "monitor/monitor.hpp"
+#include "net/fabric.hpp"
+#include "os/node.hpp"
+#include "sim/simulation.hpp"
+#include "util/table.hpp"
+
+using namespace rdmamon;
+
+int main() {
+  sim::Simulation simu;
+  net::Fabric fabric(simu, {});
+  os::Node frontend(simu, {.name = "frontend"});
+  os::Node backend(simu, {.name = "backend"});
+  fabric.attach(frontend);
+  fabric.attach(backend);
+
+  monitor::MonitorConfig cfg;
+  cfg.fetch_timeout = sim::msec(5);
+  cfg.fetch_retries = 2;
+  cfg.retry_backoff = sim::msec(2);
+  cfg.scheme = monitor::Scheme::RdmaSync;
+  monitor::MonitorChannel rdma(fabric, frontend, backend, cfg);
+  cfg.scheme = monitor::Scheme::SocketSync;
+  monitor::MonitorChannel sock(fabric, frontend, backend, cfg);
+
+  // t=100..300ms: hung kernel (NIC alive). t=400..600ms: full crash.
+  fault::FaultPlan plan;
+  plan.freeze_for(backend.id, sim::TimePoint{sim::msec(100).ns},
+                  sim::msec(200));
+  plan.crash_for(backend.id, sim::TimePoint{sim::msec(400).ns},
+                 sim::msec(200));
+  fault::FaultInjector injector(fabric);
+  injector.arm(plan);
+  std::cout << "fault plan:\n" << plan.describe() << '\n';
+
+  util::Table t;
+  t.set_header({"t (ms)", "backend state", "RDMA-Sync", "Socket-Sync"});
+  auto outcome = [](const monitor::MonitorSample& s) {
+    return s.ok ? std::string("ok (") + std::to_string(s.attempts) +
+                      " attempt)"
+                : std::string(to_string(s.error)) + " (" +
+                      std::to_string(s.attempts) + " attempts)";
+  };
+  frontend.spawn("probe", [&](os::SimThread& self) -> os::Program {
+    for (int i = 0; i < 8; ++i) {
+      co_await os::SleepFor{sim::msec(100)};
+      const auto& fs = fabric.fault_state(backend.id);
+      const char* state =
+          fs.crashed ? "CRASHED" : fs.frozen ? "FROZEN" : "healthy";
+      const double ms = simu.now().millis();
+      monitor::MonitorSample r, s;
+      co_await rdma.frontend().fetch(self, r);
+      co_await sock.frontend().fetch(self, s);
+      t.add_row({std::to_string(static_cast<int>(ms)), state, outcome(r),
+                 outcome(s)});
+    }
+  });
+  simu.run_for(sim::seconds(1));
+
+  t.print(std::cout);
+  std::cout << "\nfrozen: the NIC's DMA engine still serves one-sided "
+               "READs; the socket path needs the hung kernel.\n"
+               "crashed: both fail — but in bounded time, with an error "
+               "kind, never a hang.\n";
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+
+namespace rdmamon::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::NodeCrash: return "crash";
+    case FaultKind::NodeRecover: return "recover";
+    case FaultKind::NodeFreeze: return "freeze";
+    case FaultKind::NodeUnfreeze: return "unfreeze";
+    case FaultKind::LinkDegrade: return "link-degrade";
+    case FaultKind::LinkRestore: return "link-restore";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent e) {
+  events_.push_back(e);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(int node, sim::TimePoint at) {
+  return add({at, FaultKind::NodeCrash, node, {}, 0.0});
+}
+
+FaultPlan& FaultPlan::recover(int node, sim::TimePoint at) {
+  return add({at, FaultKind::NodeRecover, node, {}, 0.0});
+}
+
+FaultPlan& FaultPlan::crash_for(int node, sim::TimePoint at,
+                                sim::Duration down_for) {
+  return crash(node, at).recover(node, at + down_for);
+}
+
+FaultPlan& FaultPlan::freeze(int node, sim::TimePoint at) {
+  return add({at, FaultKind::NodeFreeze, node, {}, 0.0});
+}
+
+FaultPlan& FaultPlan::unfreeze(int node, sim::TimePoint at) {
+  return add({at, FaultKind::NodeUnfreeze, node, {}, 0.0});
+}
+
+FaultPlan& FaultPlan::freeze_for(int node, sim::TimePoint at,
+                                 sim::Duration hung_for) {
+  return freeze(node, at).unfreeze(node, at + hung_for);
+}
+
+FaultPlan& FaultPlan::degrade_link(int node, sim::TimePoint at,
+                                   sim::Duration extra_latency, double loss) {
+  return add({at, FaultKind::LinkDegrade, node, extra_latency, loss});
+}
+
+FaultPlan& FaultPlan::restore_link(int node, sim::TimePoint at) {
+  return add({at, FaultKind::LinkRestore, node, {}, 0.0});
+}
+
+FaultPlan& FaultPlan::degrade_link_for(int node, sim::TimePoint at,
+                                       sim::Duration window,
+                                       sim::Duration extra_latency,
+                                       double loss) {
+  return degrade_link(node, at, extra_latency, loss)
+      .restore_link(node, at + window);
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += sim::to_string(e.at);
+    out += " node";
+    out += std::to_string(e.node);
+    out += ' ';
+    out += to_string(e.kind);
+    if (e.kind == FaultKind::LinkDegrade) {
+      out += " +";
+      out += sim::to_string(e.extra_latency);
+      out += " loss=";
+      out += util::format_double(e.loss, 3);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+FaultPlan FaultPlan::random(sim::Rng& rng, int num_nodes,
+                            sim::Duration horizon, int pairs) {
+  FaultPlan plan;
+  for (int p = 0; p < pairs; ++p) {
+    const int node =
+        static_cast<int>(rng.uniform_int(0, std::max(0, num_nodes - 1)));
+    const auto start = sim::nsec(static_cast<std::int64_t>(
+        rng.uniform(0.0, 0.7 * static_cast<double>(horizon.ns))));
+    const auto max_window = 0.95 * static_cast<double>(horizon.ns) -
+                            static_cast<double>(start.ns);
+    const auto window = sim::nsec(static_cast<std::int64_t>(rng.uniform(
+        0.05 * static_cast<double>(horizon.ns), max_window)));
+    const sim::TimePoint at{start.ns};
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        plan.crash_for(node, at, window);
+        break;
+      case 1:
+        plan.freeze_for(node, at, window);
+        break;
+      default: {
+        const auto extra = sim::usec(
+            static_cast<std::int64_t>(rng.uniform(50.0, 2000.0)));
+        const double loss = rng.uniform(0.0, 0.5);
+        plan.degrade_link_for(node, at, window, extra, loss);
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+void FaultInjector::apply(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::NodeCrash:
+      fabric_->inject_crash(e.node);
+      break;
+    case FaultKind::NodeRecover:
+      fabric_->inject_recover(e.node);
+      break;
+    case FaultKind::NodeFreeze:
+      fabric_->inject_freeze(e.node);
+      break;
+    case FaultKind::NodeUnfreeze:
+      fabric_->inject_unfreeze(e.node);
+      break;
+    case FaultKind::LinkDegrade:
+      fabric_->inject_link_fault(e.node, e.extra_latency, e.loss);
+      break;
+    case FaultKind::LinkRestore:
+      fabric_->clear_link_fault(e.node);
+      break;
+  }
+  ++injected_;
+  log_.push_back(e);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  sim::Simulation& simu = fabric_->simu();
+  for (const FaultEvent& e : plan.events()) {
+    const sim::TimePoint when = std::max(e.at, simu.now());
+    simu.at(when, [this, e] { apply(e); });
+  }
+}
+
+}  // namespace rdmamon::fault

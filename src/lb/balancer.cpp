@@ -29,7 +29,45 @@ void LoadBalancer::add_backend(
     std::unique_ptr<monitor::MonitorChannel> channel) {
   channels_.push_back(std::move(channel));
   samples_.emplace_back();
+  health_.emplace_back();
   wrr_credit_.push_back(0.0);
+}
+
+int LoadBalancer::alive_backends() const {
+  int n = 0;
+  for (const Health& h : health_) {
+    if (h.state != BackendHealth::Dead) ++n;
+  }
+  return n;
+}
+
+void LoadBalancer::record_fetch(std::size_t i, bool ok) {
+  Health& h = health_[i];
+  const BackendHealth before = h.state;
+  if (ok) {
+    h.fail_streak = 0;
+    ++h.success_streak;
+    // A Suspect recovers on the first good fetch; a Dead back end must
+    // prove itself for readmit_after fetches (flap damping).
+    if (h.state == BackendHealth::Suspect ||
+        (h.state == BackendHealth::Dead &&
+         h.success_streak >= health_cfg_.readmit_after)) {
+      h.state = BackendHealth::Healthy;
+    }
+  } else {
+    ++fetch_failures_;
+    h.success_streak = 0;
+    ++h.fail_streak;
+    if (h.fail_streak >= health_cfg_.dead_after) {
+      h.state = BackendHealth::Dead;
+    } else if (h.state == BackendHealth::Healthy &&
+               h.fail_streak >= health_cfg_.suspect_after) {
+      h.state = BackendHealth::Suspect;
+    }
+  }
+  if (h.state != before) {
+    for (const auto& cb : health_cbs_) cb(static_cast<int>(i), h.state);
+  }
 }
 
 void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
@@ -44,10 +82,13 @@ os::Program LoadBalancer::poller_body(os::SimThread& self,
   // paper's front-end monitoring process. If fetches are slow (loaded
   // socket schemes), the sweep itself delays refreshes further — a real
   // effect we deliberately keep.
+  // Dead back ends keep being polled: the failure detector's only
+  // recovery signal is a fetch succeeding again.
   for (;;) {
     for (std::size_t i = 0; i < channels_.size(); ++i) {
       monitor::MonitorSample s;
       co_await channels_[i]->frontend().fetch(self, s);
+      record_fetch(i, s.ok);
       if (s.ok) {
         samples_[i] = s;
         fetch_lat_.add(static_cast<double>(s.latency().ns));
@@ -64,11 +105,17 @@ int LoadBalancer::pick() {
   // server's weight to its credit, the highest credit wins and pays back
   // the total. Deterministic, spreads proportionally, avoids dog-piling.
   constexpr double kFloor = 0.02;
+  // Dead back ends leave the rotation entirely — unless every back end is
+  // dead, in which case routing somewhere beats dropping on the floor.
+  const bool any_alive = alive_backends() > 0;
+  auto in_rotation = [&](int i) {
+    return !any_alive || health_of(i) != BackendHealth::Dead;
+  };
   double total = 0.0;
   int winner = -1;
   bool any_ok = false;
   for (int i = 0; i < n; ++i) {
-    if (index_of(i) < weights_.overload_cutoff) {
+    if (in_rotation(i) && index_of(i) < weights_.overload_cutoff) {
       any_ok = true;
       break;
     }
@@ -76,10 +123,17 @@ int LoadBalancer::pick() {
   for (int i = 0; i < n; ++i) {
     const double idx = index_of(i);
     // Overloaded servers leave the rotation while at least one healthy
-    // server remains.
-    const double w = (any_ok && idx >= weights_.overload_cutoff)
-                         ? 0.0
-                         : std::max(kFloor, 1.0 - idx);
+    // server remains; Suspect ones keep only the floor weight.
+    double w;
+    if (!in_rotation(i)) {
+      w = 0.0;
+    } else if (any_ok && idx >= weights_.overload_cutoff) {
+      w = 0.0;
+    } else if (health_of(i) == BackendHealth::Suspect) {
+      w = kFloor;
+    } else {
+      w = std::max(kFloor, 1.0 - idx);
+    }
     wrr_credit_[static_cast<std::size_t>(i)] += w;
     total += w;
     if (w > 0.0 &&

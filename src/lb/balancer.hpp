@@ -5,6 +5,8 @@
 // interrupts (hidden load the classic indices miss).
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -49,6 +51,30 @@ struct WeightConfig {
 /// Scalar load index of one snapshot (higher = more loaded).
 double load_index(const os::LoadSnapshot& info, const WeightConfig& w);
 
+/// Failure-detector state of one back end, driven purely by monitoring
+/// fetch outcomes (the only signal the front end has).
+enum class BackendHealth {
+  Healthy,  ///< fetches succeeding
+  Suspect,  ///< >= suspect_after consecutive failures; still dispatched
+  Dead,     ///< >= dead_after consecutive failures; out of rotation
+};
+
+inline const char* to_string(BackendHealth h) {
+  switch (h) {
+    case BackendHealth::Healthy: return "healthy";
+    case BackendHealth::Suspect: return "suspect";
+    case BackendHealth::Dead: return "dead";
+  }
+  return "?";
+}
+
+/// Thresholds of the consecutive-failure detector.
+struct HealthConfig {
+  int suspect_after = 1;  ///< consecutive failures before Suspect
+  int dead_after = 3;     ///< consecutive failures before Dead
+  int readmit_after = 2;  ///< consecutive successes to re-admit a Dead one
+};
+
 /// Tracks the latest monitoring sample per back end and picks the least
 /// loaded. A poller thread on the front-end node refreshes the samples
 /// every `granularity` — through the configured scheme, so the data is
@@ -59,6 +85,9 @@ class LoadBalancer {
 
   /// Registers a back end via its monitoring channel.
   void add_backend(std::unique_ptr<monitor::MonitorChannel> channel);
+
+  /// Replaces the failure-detector thresholds (before or after start).
+  void set_health_config(HealthConfig hc) { health_cfg_ = hc; }
 
   /// Spawns the front-end poller thread. Call once after add_backend.
   void start(os::Node& frontend, sim::Duration granularity);
@@ -78,16 +107,42 @@ class LoadBalancer {
   }
   const WeightConfig& weights() const { return weights_; }
 
+  // --- failure detection ---------------------------------------------------
+  BackendHealth health_of(int backend) const {
+    return health_[static_cast<std::size_t>(backend)].state;
+  }
+  /// Back ends currently in rotation (not Dead).
+  int alive_backends() const;
+  /// Total failed fetches seen by the poller.
+  std::uint64_t fetch_failures() const { return fetch_failures_; }
+  /// Registers an observer of health transitions (several may register;
+  /// e.g. the dispatcher's failover hook). Runs inside the poller.
+  void on_health_change(std::function<void(int, BackendHealth)> cb) {
+    health_cbs_.push_back(std::move(cb));
+  }
+  const HealthConfig& health_config() const { return health_cfg_; }
+
   /// Mean observed refresh latency (monitoring fetch) per back end.
   const sim::OnlineStats& fetch_latency_ns() const { return fetch_lat_; }
 
  private:
+  struct Health {
+    BackendHealth state = BackendHealth::Healthy;
+    int fail_streak = 0;
+    int success_streak = 0;
+  };
+
   os::Program poller_body(os::SimThread& self, sim::Duration granularity);
+  void record_fetch(std::size_t i, bool ok);
 
   WeightConfig weights_;
+  HealthConfig health_cfg_;
   std::vector<std::unique_ptr<monitor::MonitorChannel>> channels_;
   std::vector<monitor::MonitorSample> samples_;
+  std::vector<Health> health_;
   std::vector<double> wrr_credit_;  // smooth weighted-RR state
+  std::vector<std::function<void(int, BackendHealth)>> health_cbs_;
+  std::uint64_t fetch_failures_ = 0;
   sim::OnlineStats fetch_lat_;
 };
 

@@ -19,6 +19,37 @@ void Dispatcher::add_backend(web::WebServer& server) {
                    });
 }
 
+void Dispatcher::enable_failover() {
+  lb_->on_health_change([this](int backend, BackendHealth h) {
+    if (h == BackendHealth::Dead) fail_pending_to(backend);
+  });
+}
+
+std::size_t Dispatcher::fail_pending_to(int backend) {
+  std::size_t failed = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.backend != backend) {
+      ++it;
+      continue;
+    }
+    // Answer from the front end directly (no back-end involved). The
+    // injected reply skips the forwarder thread's send cost: failover is
+    // a control-plane action taken inside the poller, not a data-plane
+    // hop worth modelling.
+    web::Reply rej;
+    rej.id = it->first;
+    rej.rejected = true;
+    net::Message m;
+    m.bytes = 256;
+    m.payload = rej;
+    it->second.client->inject_tx(std::move(m));
+    ++failed_over_;
+    ++failed;
+    it = pending_.erase(it);
+  }
+  return failed;
+}
+
 net::Socket& Dispatcher::add_client(os::Node& client_node) {
   net::Connection& conn = fabric_->connect(client_node, *frontend_);
   frontend_->spawn("disp-fwd" + std::to_string(pending_.size()),
@@ -46,7 +77,7 @@ os::Program Dispatcher::forwarder_body(os::SimThread& self,
       co_await from_client->send(self, 256, rej);
       continue;
     }
-    pending_[req.id] = from_client;
+    pending_[req.id] = PendingEntry{from_client, backend};
     ++forwarded_;
     ++per_backend_[static_cast<std::size_t>(backend)];
     co_await backend_socks_[static_cast<std::size_t>(backend)]->send(
@@ -61,8 +92,8 @@ os::Program Dispatcher::router_body(os::SimThread& self,
     co_await from_backend->recv(self, m);
     const web::Reply reply = std::any_cast<web::Reply>(m.payload);
     auto it = pending_.find(reply.id);
-    if (it == pending_.end()) continue;  // duplicate/late; drop
-    net::Socket* to_client = it->second;
+    if (it == pending_.end()) continue;  // duplicate/late/failed-over; drop
+    net::Socket* to_client = it->second.client;
     pending_.erase(it);
     co_await to_client->send(self, m.bytes, reply);
   }

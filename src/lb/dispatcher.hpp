@@ -38,14 +38,33 @@ class Dispatcher {
   /// Optional admission control (owned by caller; nullptr = admit all).
   void set_admission(AdmissionController* adm) { admission_ = adm; }
 
+  /// Wires the balancer's failure detector to this dispatcher: when a
+  /// back end goes Dead, every request still pending on it is answered
+  /// with a rejection so clients unblock (instead of waiting on a reply
+  /// that will never come). New requests avoid it via LoadBalancer::pick.
+  void enable_failover();
+
+  /// Rejects (and forgets) every pending request routed to `backend`.
+  /// Returns how many were failed over.
+  std::size_t fail_pending_to(int backend);
+
   std::uint64_t forwarded() const { return forwarded_; }
   std::uint64_t rejected() const { return rejected_; }
+  /// Pending requests answered with a rejection by failover.
+  std::uint64_t failed_over() const { return failed_over_; }
+  /// Requests currently awaiting a back-end reply.
+  std::size_t pending() const { return pending_.size(); }
   /// Requests forwarded to each back end (balance quality metric).
   const std::vector<std::uint64_t>& per_backend() const {
     return per_backend_;
   }
 
  private:
+  struct PendingEntry {
+    net::Socket* client = nullptr;  ///< where the reply must go
+    int backend = -1;               ///< who we are waiting on
+  };
+
   os::Program forwarder_body(os::SimThread& self, net::Socket* from_client);
   os::Program router_body(os::SimThread& self, net::Socket* from_backend);
 
@@ -56,10 +75,11 @@ class Dispatcher {
   AdmissionController* admission_ = nullptr;
 
   std::vector<net::Socket*> backend_socks_;
-  std::unordered_map<std::uint64_t, net::Socket*> pending_;  // id -> client
+  std::unordered_map<std::uint64_t, PendingEntry> pending_;  // id -> route
   std::vector<std::uint64_t> per_backend_;
   std::uint64_t forwarded_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t failed_over_ = 0;
 };
 
 }  // namespace rdmamon::lb

@@ -2,6 +2,7 @@
 
 #include <any>
 #include <cassert>
+#include <limits>
 
 namespace rdmamon::monitor {
 
@@ -113,24 +114,61 @@ FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
 
 os::Program FrontendMonitor::fetch(os::SimThread& self, MonitorSample& out) {
   out = MonitorSample{};
-  out.requested_at = self.node().simu().now();
+  sim::Simulation& simu = self.node().simu();
+  out.requested_at = simu.now();
   const MonitorConfig& cfg = backend_->config();
+  sim::Duration backoff = cfg.retry_backoff;
+  for (int attempt = 0;; ++attempt) {
+    out.attempts = attempt + 1;
+    const sim::TimePoint deadline =
+        cfg.fetch_timeout.ns > 0
+            ? simu.now() + cfg.fetch_timeout
+            : sim::TimePoint{std::numeric_limits<std::int64_t>::max()};
+    co_await fetch_once(self, out, deadline);
+    if (out.ok || attempt >= cfg.fetch_retries) break;
+    co_await os::SleepFor{backoff};
+    backoff = backoff * 2;
+  }
+  out.retrieved_at = simu.now();
+}
+
+os::Program FrontendMonitor::fetch_once(os::SimThread& self,
+                                        MonitorSample& out,
+                                        sim::TimePoint deadline) {
+  const MonitorConfig& cfg = backend_->config();
+  out.ok = false;
   if (is_rdma(cfg.scheme)) {
     net::Completion c;
-    co_await net::rdma_read_sync(self, *qp_, backend_->mr_key(),
-                                 cfg.reply_bytes, c);
-    if (c.status == net::WcStatus::Success) {
+    bool got = false;
+    co_await net::rdma_read_sync_until(self, *qp_, backend_->mr_key(),
+                                       cfg.reply_bytes, next_wr_id_++,
+                                       deadline, c, got);
+    if (!got) {
+      out.error = FetchError::Timeout;
+    } else if (c.status != net::WcStatus::Success) {
+      out.error = FetchError::Transport;
+    } else {
       out.info = std::any_cast<os::LoadSnapshot>(c.data);
       out.ok = true;
+      out.error = FetchError::None;
     }
   } else {
+    // The monitoring protocol carries no sequence numbers, so a reply to
+    // an abandoned earlier request may still be queued: flush before
+    // asking again (at worst we answer with a marginally older reading).
+    sock_->drain_rx();
     co_await sock_->send(self, cfg.request_bytes, std::any{});
     net::Message reply;
-    co_await sock_->recv(self, reply);
-    out.info = std::any_cast<os::LoadSnapshot>(reply.payload);
-    out.ok = true;
+    bool got = false;
+    co_await sock_->recv_until(self, reply, deadline, got);
+    if (!got) {
+      out.error = FetchError::Timeout;
+    } else {
+      out.info = std::any_cast<os::LoadSnapshot>(reply.payload);
+      out.ok = true;
+      out.error = FetchError::None;
+    }
   }
-  out.retrieved_at = self.node().simu().now();
 }
 
 MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,

@@ -24,7 +24,35 @@ struct MonitorConfig {
   sim::Duration period = sim::msec(50);
   std::size_t request_bytes = 64;   ///< socket load-request size
   std::size_t reply_bytes = 256;    ///< load-info record size on the wire
+
+  /// Failure handling: one fetch attempt that has not completed after
+  /// this long is abandoned (FetchError::Timeout). <= 0 disables the
+  /// deadline (pre-fault behaviour: wait forever). The default is far
+  /// above any healthy-path latency so fault-free experiments are
+  /// unaffected.
+  sim::Duration fetch_timeout = sim::msec(200);
+  /// Extra attempts after a failed first one (bounded retry).
+  int fetch_retries = 2;
+  /// Backoff before retry k (1-based) is retry_backoff * 2^(k-1) —
+  /// deterministic exponential backoff, no jitter, so runs replay.
+  sim::Duration retry_backoff = sim::msec(2);
 };
+
+/// Why a fetch came back without data.
+enum class FetchError {
+  None,       ///< ok == true
+  Timeout,    ///< no reply/completion within fetch_timeout (all attempts)
+  Transport,  ///< the fabric error-completed the op (dead peer, loss)
+};
+
+inline const char* to_string(FetchError e) {
+  switch (e) {
+    case FetchError::None: return "none";
+    case FetchError::Timeout: return "timeout";
+    case FetchError::Transport: return "transport";
+  }
+  return "?";
+}
 
 /// One load reading obtained by the front end, with the timing needed for
 /// the latency/staleness/accuracy analyses.
@@ -33,6 +61,8 @@ struct MonitorSample {
   sim::TimePoint requested_at{};
   sim::TimePoint retrieved_at{};
   bool ok = false;
+  FetchError error = FetchError::None;  ///< set when ok == false
+  int attempts = 0;  ///< fetch attempts spent (1 on the happy path)
 
   /// Front-end observed fetch latency.
   sim::Duration latency() const { return retrieved_at - requested_at; }
@@ -85,6 +115,10 @@ class FrontendMonitor {
   /// Subprogram: one load fetch; fills `out`. Socket schemes do a
   /// request/response over the monitoring connection; RDMA schemes do a
   /// one-sided READ (kernel region for *-Sync, user region for Async).
+  ///
+  /// Failure-resilient: each attempt is bounded by cfg.fetch_timeout and
+  /// retried up to cfg.fetch_retries times with exponential backoff, so
+  /// the subprogram ALWAYS resolves — `out.ok` plus `out.error` say how.
   os::Program fetch(os::SimThread& self, MonitorSample& out);
 
   Scheme scheme() const { return backend_->config().scheme; }
@@ -97,10 +131,15 @@ class FrontendMonitor {
   }
 
  private:
+  /// One bounded attempt; sets out.ok / out.error (never retrieved_at).
+  os::Program fetch_once(os::SimThread& self, MonitorSample& out,
+                         sim::TimePoint deadline);
+
   BackendMonitor* backend_;
   net::Socket* sock_ = nullptr;
   net::CompletionQueue cq_;
   std::optional<net::QueuePair> qp_;
+  std::uint64_t next_wr_id_ = 1;  ///< matches completions to attempts
 };
 
 /// Convenience bundle: wires a complete monitoring channel (connection for

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "sim/random.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
@@ -47,6 +48,14 @@ struct FabricConfig {
   /// Size of the RDMA READ request packet on the wire.
   std::size_t rdma_request_bytes = 32;
 
+  /// RC transport failure budget: an op whose packet is lost or whose
+  /// target is dead error-completes (RetryExceeded) after this long —
+  /// retry_cnt x local ACK timeout collapsed into one figure.
+  sim::Duration rdma_retry_timeout = sim::msec(4);
+
+  /// Seed of the link-loss sampling stream (runs replay bit-for-bit).
+  std::uint64_t fault_seed = 0x8d0fb18a12c5e3a7ull;
+
   /// CPU that takes NetRx interrupts (-1 = round robin). The paper-era
   /// default routes the HCA's interrupts to the second CPU.
   int rx_irq_cpu = 1;
@@ -56,6 +65,19 @@ struct FabricConfig {
            sim::nsec(static_cast<std::int64_t>(
                static_cast<double>(bytes) / bandwidth_bps * 1e9));
   }
+};
+
+/// Injected fault status of one node (driven by fault::FaultInjector).
+/// Crash kills host *and* NIC; freeze hangs the host (no interrupt
+/// servicing, so no two-sided progress) while the NIC keeps DMA-ing —
+/// the regime where the paper's one-sided monitoring claim bites. Link
+/// degradation adds one-way latency and a per-packet loss probability on
+/// the node's access link.
+struct NodeFaultState {
+  bool crashed = false;
+  bool frozen = false;
+  sim::Duration link_extra_latency{};
+  double link_loss = 0.0;
 };
 
 /// Owns the NICs and the message-in-flight bookkeeping. Nodes are created
@@ -91,12 +113,42 @@ class Fabric {
   sim::Simulation& simu() { return simu_; }
   const FabricConfig& config() const { return cfg_; }
 
+  // --- fault-injection hooks (see src/fault) -------------------------------
+  /// Node dies whole: in-flight and future packets to/from it vanish,
+  /// RDMA ops against it error-complete after the retry budget.
+  void inject_crash(int node_id);
+  /// Node comes back (threads/NIC state survive — the simulator models
+  /// reachability, not reboot).
+  void inject_recover(int node_id);
+  /// Hung kernel: inbound packets queue at the switch port (no interrupt
+  /// servicing), but the NIC's DMA engine keeps serving one-sided ops.
+  void inject_freeze(int node_id);
+  /// Un-hang: queued inbound packets burst into the receive path.
+  void inject_unfreeze(int node_id);
+  /// Degrades the node's access link: `extra_latency` one-way, `loss`
+  /// drop probability per packet (also applied to RDMA request/response).
+  void inject_link_fault(int node_id, sim::Duration extra_latency,
+                         double loss);
+  void clear_link_fault(int node_id);
+
+  const NodeFaultState& fault_state(int node_id) const;
+  /// Extra one-way latency on src->dst (both endpoints' access links).
+  sim::Duration link_extra(int src, int dst) const;
+  /// Samples the loss process for one packet on src->dst (advances the
+  /// fault RNG; deterministic for a fixed fault_seed and call sequence).
+  bool sample_link_drop(int src, int dst);
+
  private:
+  NodeFaultState& fault_at(int node_id);
+
   sim::Simulation& simu_;
   FabricConfig cfg_;
   std::vector<os::Node*> nodes_;
   std::vector<std::unique_ptr<Nic>> nics_;
   std::vector<std::unique_ptr<Connection>> conns_;
+  std::vector<NodeFaultState> faults_;
+  std::vector<std::vector<Message>> frozen_rx_;  ///< held while frozen
+  sim::Rng fault_rng_;
 };
 
 }  // namespace rdmamon::net

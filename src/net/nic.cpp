@@ -61,6 +61,24 @@ void Nic::rx(Message msg) {
 
 // --- one-sided ------------------------------------------------------------------
 
+namespace {
+
+/// Transport-level failure: the RC state machine retransmits until the
+/// retry budget is spent, then flushes the WR with RetryExceeded. The
+/// initiator always gets a completion — nothing hangs on a dead peer.
+void fail_after_retries(Fabric& fabric, Completion c,
+                        std::function<void(Completion)> done) {
+  c.status = WcStatus::RetryExceeded;
+  fabric.simu().after(fabric.config().rdma_retry_timeout,
+                      [&fabric, c = std::move(c),
+                       done = std::move(done)]() mutable {
+                        c.completed = fabric.simu().now();
+                        done(std::move(c));
+                      });
+}
+
+}  // namespace
+
 MrKey Nic::register_mr(std::size_t bytes, std::function<std::any()> reader,
                        bool remote_writable,
                        std::function<void(const std::any&)> writer) {
@@ -83,13 +101,27 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();
+  // Dead target or lost request packet: the op can never succeed.
+  if (fabric_.fault_state(target_node).crashed ||
+      fabric_.sample_link_drop(node_id(), target_node)) {
+    fail_after_retries(fabric_, std::move(c), std::move(done));
+    return;
+  }
   // Request packet to the target NIC.
-  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes);
+  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes) +
+                            fabric_.link_extra(node_id(), target_node);
   Nic& target = fabric_.nic(target_node);
   simu.after(req, [&target, this, rkey, len, c,
                    done = std::move(done)]() mutable {
     sim::Simulation& s = fabric_.simu();
     const FabricConfig& fc = fabric_.config();
+    if (fabric_.fault_state(target.node_id()).crashed) {
+      // Died while the request was in flight. NOTE: a *frozen* target
+      // still serves the read — the DMA engine needs no host CPU, the
+      // property the paper's RDMA-Sync scheme exploits.
+      fail_after_retries(fabric_, std::move(c), std::move(done));
+      return;
+    }
     auto it = target.regions_.find(rkey.key);
     // DMA engine serialisation at the target NIC.
     const sim::TimePoint start =
@@ -108,8 +140,15 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
         // THE key semantic: the content is sampled at the DMA instant.
         c.data = it->second.reader();
       }
-      // Response back to the initiator.
-      const sim::Duration resp = fabric_.config().wire_delay(len);
+      // Response back to the initiator (may die on a lossy return path).
+      if (fabric_.fault_state(target.node_id()).crashed ||
+          fabric_.sample_link_drop(target.node_id(), node_id())) {
+        fail_after_retries(fabric_, std::move(c), std::move(done));
+        return;
+      }
+      const sim::Duration resp =
+          fabric_.config().wire_delay(len) +
+          fabric_.link_extra(target.node_id(), node_id());
       fabric_.simu().after(resp, [this, c = std::move(c),
                                   done = std::move(done)]() mutable {
         c.completed = fabric_.simu().now();
@@ -127,13 +166,23 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();
+  if (fabric_.fault_state(target_node).crashed ||
+      fabric_.sample_link_drop(node_id(), target_node)) {
+    fail_after_retries(fabric_, std::move(c), std::move(done));
+    return;
+  }
   // Write carries the payload with the request.
-  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes + len);
+  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes + len) +
+                            fabric_.link_extra(node_id(), target_node);
   Nic& target = fabric_.nic(target_node);
   simu.after(req, [&target, this, rkey, len, c, value = std::move(value),
                    done = std::move(done)]() mutable {
     sim::Simulation& s = fabric_.simu();
     const FabricConfig& fc = fabric_.config();
+    if (fabric_.fault_state(target.node_id()).crashed) {
+      fail_after_retries(fabric_, std::move(c), std::move(done));
+      return;
+    }
     const sim::TimePoint start =
         target.dma_busy_ > s.now() ? target.dma_busy_ : s.now();
     const sim::Duration service =
@@ -155,8 +204,14 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
         it->second.writer(value);
       }
       // Ack back to the initiator (small).
+      if (fabric_.fault_state(target.node_id()).crashed ||
+          fabric_.sample_link_drop(target.node_id(), node_id())) {
+        fail_after_retries(fabric_, std::move(c), std::move(done));
+        return;
+      }
       const sim::Duration resp =
-          fabric_.config().wire_delay(fabric_.config().rdma_request_bytes);
+          fabric_.config().wire_delay(fabric_.config().rdma_request_bytes) +
+          fabric_.link_extra(target.node_id(), node_id());
       fabric_.simu().after(resp, [this, c = std::move(c),
                                   done = std::move(done)]() mutable {
         c.completed = fabric_.simu().now();

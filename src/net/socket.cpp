@@ -48,6 +48,36 @@ os::Program Socket::recv(os::SimThread& self, Message& out) {
   (void)self;
 }
 
+os::Program Socket::recv_until(os::SimThread& self, Message& out,
+                               sim::TimePoint deadline, bool& ok) {
+  ok = false;
+  sim::Simulation& simu = fabric_->simu();
+  // The deadline is a timer that spuriously wakes this socket's waiters;
+  // the standard predicate re-check then notices the expired clock.
+  sim::EventHandle timer;
+  if (rx_.empty() && simu.now() < deadline) {
+    timer = simu.at(deadline, [this] { rx_wq_.notify_all(); });
+  }
+  while (rx_.empty() && simu.now() < deadline) {
+    co_await os::WaitOn{&rx_wq_};
+  }
+  timer.cancel();
+  if (rx_.empty()) co_return;
+  out = std::move(rx_.front());
+  rx_.pop_front();
+  const FabricConfig& cfg = fabric_->config();
+  co_await os::ComputeKernel{cfg.socket_recv_cost +
+                             copy_cost(cfg, out.bytes)};
+  ok = true;
+  (void)self;
+}
+
+std::size_t Socket::drain_rx() {
+  const std::size_t n = rx_.size();
+  rx_.clear();
+  return n;
+}
+
 Connection::Connection(Fabric& fabric, os::Node& a, os::Node& b,
                        std::uint64_t id)
     : id_(id) {
@@ -65,9 +95,10 @@ Connection::Connection(Fabric& fabric, os::Node& a, os::Node& b,
   b.stats().on_connection_opened();
 }
 
-Connection::~Connection() {
-  a_.local_->stats().on_connection_closed();
-  b_.local_->stats().on_connection_closed();
-}
+// Connections live exactly as long as the fabric (there is no mid-run
+// disconnect), and the endpoint nodes are caller-owned — they may already
+// be destroyed when the fabric tears down, so the destructor must not
+// touch them to decrement connection counters.
+Connection::~Connection() = default;
 
 }  // namespace rdmamon::net

@@ -28,6 +28,17 @@ class Socket {
   /// syscall + copy cost, and stores the message in `out`.
   os::Program recv(os::SimThread& self, Message& out);
 
+  /// Subprogram: like recv, but gives up at `deadline` (SO_RCVTIMEO). On
+  /// timeout `ok` stays false, `out` is untouched, and no recv cost is
+  /// charged. A message already queued is delivered even past deadline.
+  os::Program recv_until(os::SimThread& self, Message& out,
+                         sim::TimePoint deadline, bool& ok);
+
+  /// Discards every queued inbound message, returning how many were
+  /// dropped. Protocols without sequence numbers (the monitoring
+  /// request/response) use this to flush replies to abandoned requests.
+  std::size_t drain_rx();
+
   /// Transmits a prepared message WITHOUT charging the sender's syscall
   /// cost — used for switch-replicated multicast copies, where the host
   /// pays for one send and the fabric fans it out. Routing fields are

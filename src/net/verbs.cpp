@@ -1,6 +1,8 @@
 #include "net/verbs.hpp"
 
 #include "net/nic.hpp"
+#include "os/node.hpp"
+#include "os/thread.hpp"
 
 namespace rdmamon::net {
 
@@ -24,6 +26,38 @@ os::Program rdma_read_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
   while (cq.empty()) co_await os::WaitOn{&cq.wait_queue()};
   out = cq.pop();
   (void)self;
+}
+
+os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
+                                 MrKey rkey, std::size_t len,
+                                 std::uint64_t wr_id, sim::TimePoint deadline,
+                                 Completion& out, bool& ok) {
+  ok = false;
+  co_await os::Compute{sim::nsec(300)};
+  qp.post_read(rkey, len, wr_id);
+  CompletionQueue& cq = qp.cq();
+  sim::Simulation& simu = self.node().simu();
+  // The deadline is modelled as a timer that spuriously wakes the CQ
+  // waiter; the waiter re-checks the clock (the documented wait-queue
+  // discipline), so no scheduler surgery is needed.
+  sim::EventHandle timer;
+  if (simu.now() < deadline) {
+    timer = simu.at(deadline, [&cq] { cq.wait_queue().notify_all(); });
+  }
+  for (;;) {
+    while (!cq.empty()) {
+      Completion c = cq.pop();
+      if (c.wr_id == wr_id) {
+        out = std::move(c);
+        ok = true;
+        break;
+      }
+      // Stale completion of an abandoned (timed-out) WR: discard.
+    }
+    if (ok || simu.now() >= deadline) break;
+    co_await os::WaitOn{&cq.wait_queue()};
+  }
+  timer.cancel();
 }
 
 os::Program rdma_write_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,

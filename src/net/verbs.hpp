@@ -41,6 +41,7 @@ enum class WcStatus {
   Success,
   ProtectionError,  ///< write to a read-only region
   InvalidKey,       ///< no such rkey at the target
+  RetryExceeded,    ///< RC retransmit budget spent (lost packet / dead peer)
 };
 
 /// Work completion delivered to the initiator's CQ.
@@ -108,5 +109,15 @@ os::Program rdma_read_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
 /// example; completes with ProtectionError on read-only regions).
 os::Program rdma_write_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
                             std::any value, std::size_t len, Completion& out);
+
+/// Deadline-aware variant of rdma_read_sync: posts the READ with `wr_id`
+/// and waits for ITS completion until `deadline`. On timeout `ok` stays
+/// false and the WR is abandoned — its completion (the fabric always
+/// produces one, possibly RetryExceeded) arrives later and is discarded by
+/// the wr_id match of a subsequent call on the same CQ.
+os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
+                                 MrKey rkey, std::size_t len,
+                                 std::uint64_t wr_id, sim::TimePoint deadline,
+                                 Completion& out, bool& ok);
 
 }  // namespace rdmamon::net

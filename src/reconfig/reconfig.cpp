@@ -30,6 +30,15 @@ void ReconfigManager::add_backend(RoleRegion& region) {
   channels_.push_back(std::make_unique<monitor::MonitorChannel>(
       *fabric_, *frontend_, region.node(), cfg_.monitor));
   samples_.emplace_back();
+  fail_streak_.push_back(0);
+}
+
+int ReconfigManager::dead_nodes() const {
+  int n = 0;
+  for (std::size_t i = 0; i < fail_streak_.size(); ++i) {
+    if (believed_dead(static_cast<int>(i))) ++n;
+  }
+  return n;
 }
 
 void ReconfigManager::start() {
@@ -61,11 +70,21 @@ double ReconfigManager::pool_load(Role r) const {
 os::Program ReconfigManager::manager_body(os::SimThread& self) {
   sim::Simulation& simu = self.node().simu();
   for (;;) {
-    // Refresh every back end's load through the configured scheme.
+    // Refresh every back end's load through the configured scheme. A
+    // back end failing dead_after fetches in a row loses its vote: its
+    // stale load no longer weighs on pool decisions and it cannot be
+    // picked for a role flip until it answers again.
     for (std::size_t i = 0; i < channels_.size(); ++i) {
       monitor::MonitorSample s;
       co_await channels_[i]->frontend().fetch(self, s);
-      if (s.ok) samples_[i] = s;
+      if (s.ok) {
+        samples_[i] = s;
+        fail_streak_[i] = 0;
+      } else {
+        ++fetch_failures_;
+        ++fail_streak_[i];
+        if (fail_streak_[i] >= cfg_.dead_after) samples_[i].ok = false;
+      }
     }
 
     const double load_a = pool_load(Role::ServiceA);

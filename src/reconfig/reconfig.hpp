@@ -62,6 +62,10 @@ struct ReconfigConfig {
   sim::Duration cooldown = sim::msec(500);
   /// Keep at least this many nodes in each service.
   int min_nodes_per_service = 1;
+  /// Consecutive fetch failures before a back end is treated as dead:
+  /// its last-known load stops counting toward pool loads and it is
+  /// never picked for a role flip (failover).
+  int dead_after = 3;
 };
 
 /// Front-end manager: monitors every back end, computes per-service mean
@@ -86,6 +90,14 @@ class ReconfigManager {
   std::uint64_t reconfigurations() const { return reconfigs_; }
   double pool_load(Role r) const;
 
+  /// Failure visibility: monitoring fetches that came back failed, and
+  /// how many back ends the manager currently believes dead.
+  std::uint64_t fetch_failures() const { return fetch_failures_; }
+  bool believed_dead(int i) const {
+    return fail_streak_[static_cast<std::size_t>(i)] >= cfg_.dead_after;
+  }
+  int dead_nodes() const;
+
  private:
   os::Program manager_body(os::SimThread& self);
 
@@ -95,8 +107,10 @@ class ReconfigManager {
   std::vector<RoleRegion*> regions_;
   std::vector<std::unique_ptr<monitor::MonitorChannel>> channels_;
   std::vector<monitor::MonitorSample> samples_;
+  std::vector<int> fail_streak_;
   net::CompletionQueue cq_;
   std::uint64_t reconfigs_ = 0;
+  std::uint64_t fetch_failures_ = 0;
   sim::TimePoint last_reconfig_{};
 };
 

@@ -10,11 +10,18 @@ ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
 
   lb_ = std::make_unique<lb::LoadBalancer>(
       lb::WeightConfig::for_scheme(cfg_.scheme));
+  lb_->set_health_config(cfg_.health);
   dispatcher_ = std::make_unique<lb::Dispatcher>(*fabric_, *frontend_, *lb_);
+  // A back end declared Dead immediately rejects its pending requests so
+  // closed-loop clients unblock and retraffic the survivors.
+  dispatcher_->enable_failover();
 
   monitor::MonitorConfig mcfg;
   mcfg.scheme = cfg_.scheme;
   mcfg.period = cfg_.monitor_period;
+  mcfg.fetch_timeout = cfg_.fetch_timeout;
+  mcfg.fetch_retries = cfg_.fetch_retries;
+  mcfg.retry_backoff = cfg_.retry_backoff;
 
   for (int i = 0; i < cfg_.backends; ++i) {
     os::NodeConfig ncfg = cfg_.backend_node;

@@ -36,6 +36,13 @@ struct ClusterConfig {
   double admission_threshold = -1.0;
   std::uint64_t seed = 42;
 
+  /// Monitoring failure handling (per fetch attempt; see MonitorConfig).
+  sim::Duration fetch_timeout = sim::msec(200);
+  int fetch_retries = 2;
+  sim::Duration retry_backoff = sim::msec(2);
+  /// Failure-detector thresholds of the balancer's health tracking.
+  lb::HealthConfig health{};
+
   ClusterConfig() {
     backend_node.name = "backend";
     frontend_node.name = "frontend";

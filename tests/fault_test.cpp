@@ -1,0 +1,406 @@
+// Fault-injection scenarios: the failure semantics of every monitoring
+// transport (crash / freeze / link degradation), the front end's bounded
+// fetch (timeout + retry/backoff), the balancer's failure detector, and
+// the dispatcher's failover path. The headline case is the paper's: a
+// back end whose kernel hangs stops answering socket probes, but its NIC
+// keeps serving one-sided RDMA READs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "lb/balancer.hpp"
+#include "monitor/monitor.hpp"
+#include "net/fabric.hpp"
+#include "os/node.hpp"
+#include "sim/simulation.hpp"
+#include "sim/stats.hpp"
+#include "web/cluster.hpp"
+
+namespace rdmamon {
+namespace {
+
+using monitor::FetchError;
+using monitor::MonitorConfig;
+using monitor::MonitorSample;
+using monitor::Scheme;
+using os::Program;
+using os::SimThread;
+using sim::msec;
+using sim::seconds;
+using sim::usec;
+
+/// Fast-failing monitor tuning so fault tests stay short: a full fetch
+/// (1 try + 2 retries with 2/4 ms backoff) resolves within ~21 ms.
+MonitorConfig fast_cfg(Scheme scheme) {
+  MonitorConfig cfg;
+  cfg.scheme = scheme;
+  cfg.fetch_timeout = msec(5);
+  cfg.fetch_retries = 2;
+  cfg.retry_backoff = msec(2);
+  return cfg;
+}
+
+struct Env {
+  sim::Simulation simu;
+  net::Fabric fabric{simu, {}};
+  os::Node frontend{simu, {.name = "frontend"}};
+  os::Node backend{simu, {.name = "backend"}};
+
+  Env() {
+    fabric.attach(frontend);  // id 0
+    fabric.attach(backend);   // id 1
+  }
+};
+
+// --- crash: every scheme fails fast, nothing hangs ---------------------------
+
+class CrashSchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(CrashSchemeTest, FetchAgainstCrashedBackendResolvesQuickly) {
+  Env env;
+  monitor::MonitorChannel chan(env.fabric, env.frontend, env.backend,
+                               fast_cfg(GetParam()));
+  env.simu.at(sim::TimePoint{msec(49).ns},
+              [&] { env.fabric.inject_crash(env.backend.id); });
+  MonitorSample sample;
+  sim::Duration resolve_time{};
+  bool resolved = false;
+  env.frontend.spawn("mon", [&](SimThread& self) -> Program {
+    co_await os::SleepFor{msec(50)};
+    const sim::TimePoint t0 = env.simu.now();
+    co_await chan.frontend().fetch(self, sample);
+    resolve_time = env.simu.now() - t0;
+    resolved = true;
+  });
+  env.simu.run_for(seconds(2));
+  ASSERT_TRUE(resolved);
+  EXPECT_FALSE(sample.ok);
+  EXPECT_NE(sample.error, FetchError::None);
+  EXPECT_EQ(sample.attempts, 3);  // 1 try + fetch_retries
+  // Bound: 3 attempts x 5ms timeout + 2ms + 4ms backoff, plus stack costs.
+  EXPECT_LT(resolve_time.ns, msec(30).ns);
+  EXPECT_EQ(sample.latency(), resolve_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, CrashSchemeTest,
+                         ::testing::ValuesIn(monitor::kTransportSchemes),
+                         [](const auto& info) {
+                           std::string n = monitor::to_string(info.param);
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(Crash, RdmaErrorCompletesAsTransportSocketAsTimeout) {
+  // The RC transport error-completes a READ against a dead peer after the
+  // retry budget (a signal!), while the socket path just hears silence.
+  for (const Scheme scheme : {Scheme::RdmaSync, Scheme::SocketSync}) {
+    Env env;
+    monitor::MonitorChannel chan(env.fabric, env.frontend, env.backend,
+                                 fast_cfg(scheme));
+    env.fabric.inject_crash(env.backend.id);
+    MonitorSample sample;
+    env.frontend.spawn("mon", [&](SimThread& self) -> Program {
+      co_await os::SleepFor{msec(10)};
+      co_await chan.frontend().fetch(self, sample);
+    });
+    env.simu.run_for(seconds(1));
+    ASSERT_FALSE(sample.ok) << monitor::to_string(scheme);
+    EXPECT_EQ(sample.error, scheme == Scheme::RdmaSync
+                                ? FetchError::Transport
+                                : FetchError::Timeout);
+  }
+}
+
+TEST(Crash, RecoveredBackendAnswersAgain) {
+  Env env;
+  monitor::MonitorChannel chan(env.fabric, env.frontend, env.backend,
+                               fast_cfg(Scheme::RdmaSync));
+  fault::FaultInjector inj(env.fabric);
+  fault::FaultPlan plan;
+  plan.crash_for(env.backend.id, sim::TimePoint{msec(40).ns}, msec(100));
+  inj.arm(plan);
+  MonitorSample during, after;
+  env.frontend.spawn("mon", [&](SimThread& self) -> Program {
+    co_await os::SleepFor{msec(50)};
+    co_await chan.frontend().fetch(self, during);
+    co_await os::SleepFor{msec(150)};  // past the recovery at t=140ms
+    co_await chan.frontend().fetch(self, after);
+  });
+  env.simu.run_for(seconds(1));
+  EXPECT_FALSE(during.ok);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.error, FetchError::None);
+  EXPECT_EQ(after.attempts, 1);
+  EXPECT_EQ(inj.injected(), 2u);
+}
+
+// --- freeze: the paper's one-sided-monitoring claim --------------------------
+
+TEST(Freeze, RdmaSyncAnswersWhileSocketSyncTimesOut) {
+  // Hung kernel, NIC alive: socket probes need the host to schedule the
+  // reporting thread (it can't — no interrupt servicing), the one-sided
+  // READ is served entirely by the NIC's DMA engine.
+  Env env;
+  monitor::MonitorChannel rdma(env.fabric, env.frontend, env.backend,
+                               fast_cfg(Scheme::RdmaSync));
+  monitor::MonitorChannel sock(env.fabric, env.frontend, env.backend,
+                               fast_cfg(Scheme::SocketSync));
+  env.simu.at(sim::TimePoint{msec(40).ns},
+              [&] { env.fabric.inject_freeze(env.backend.id); });
+  env.simu.at(sim::TimePoint{msec(300).ns},
+              [&] { env.fabric.inject_unfreeze(env.backend.id); });
+  MonitorSample rdma_frozen, sock_frozen, sock_thawed;
+  env.frontend.spawn("mon", [&](SimThread& self) -> Program {
+    co_await os::SleepFor{msec(50)};
+    co_await rdma.frontend().fetch(self, rdma_frozen);
+    co_await sock.frontend().fetch(self, sock_frozen);
+    co_await os::SleepFor{msec(300)};  // well past the unfreeze
+    co_await sock.frontend().fetch(self, sock_thawed);
+  });
+  env.simu.run_for(seconds(1));
+  ASSERT_TRUE(rdma_frozen.ok);
+  EXPECT_EQ(rdma_frozen.attempts, 1);
+  EXPECT_LT(rdma_frozen.latency().ns, msec(1).ns);
+  ASSERT_FALSE(sock_frozen.ok);
+  EXPECT_EQ(sock_frozen.error, FetchError::Timeout);
+  EXPECT_EQ(sock_frozen.attempts, 3);
+  // Un-hung host drains the held requests and serves new ones again.
+  ASSERT_TRUE(sock_thawed.ok);
+  EXPECT_EQ(sock_thawed.attempts, 1);
+}
+
+// --- link degradation: retries win through loss ------------------------------
+
+TEST(LinkFault, RetriesSurviveALossyDegradedLink) {
+  Env env;
+  MonitorConfig cfg = fast_cfg(Scheme::SocketSync);
+  cfg.fetch_retries = 6;  // generous budget against 40% loss
+  monitor::MonitorChannel chan(env.fabric, env.frontend, env.backend, cfg);
+  env.fabric.inject_link_fault(env.backend.id, usec(200), 0.4);
+  int okay = 0, total = 0;
+  sim::OnlineStats attempts;
+  env.frontend.spawn("mon", [&](SimThread& self) -> Program {
+    for (int i = 0; i < 25; ++i) {
+      co_await os::SleepFor{msec(10)};
+      MonitorSample s;
+      co_await chan.frontend().fetch(self, s);
+      ++total;
+      if (s.ok) ++okay;
+      attempts.add(s.attempts);
+    }
+  });
+  env.simu.run_for(seconds(5));
+  EXPECT_EQ(total, 25);
+  // P(all 7 attempts lose a packet) is tiny; the vast majority succeed.
+  EXPECT_GE(okay, 20);
+  // The loss actually bit: some fetches needed more than one attempt.
+  EXPECT_GT(attempts.max(), 1.0);
+}
+
+// --- balancer failure detector ----------------------------------------------
+
+struct LbEnv {
+  static constexpr int kBackends = 3;
+  sim::Simulation simu;
+  net::Fabric fabric{simu, {}};
+  os::Node frontend{simu, {.name = "frontend"}};
+  std::vector<std::unique_ptr<os::Node>> backends;
+  lb::LoadBalancer lb{lb::WeightConfig::for_scheme(Scheme::RdmaSync)};
+
+  explicit LbEnv(Scheme scheme) {
+    fabric.attach(frontend);
+    for (int i = 0; i < kBackends; ++i) {
+      os::NodeConfig cfg;
+      cfg.name = "backend" + std::to_string(i);
+      backends.push_back(std::make_unique<os::Node>(simu, cfg));
+      fabric.attach(*backends.back());
+      lb.add_backend(std::make_unique<monitor::MonitorChannel>(
+          fabric, frontend, *backends.back(), fast_cfg(scheme)));
+    }
+    lb.start(frontend, msec(10));
+  }
+};
+
+TEST(HealthDetector, DeadBackendLeavesRotationAndReturns) {
+  LbEnv env(Scheme::RdmaSync);
+  const int victim = 1;
+  const int victim_node = env.backends[victim]->id;
+  std::vector<std::pair<int, lb::BackendHealth>> transitions;
+  env.lb.on_health_change([&](int b, lb::BackendHealth h) {
+    transitions.emplace_back(b, h);
+  });
+  env.fabric.simu().at(sim::TimePoint{msec(50).ns},
+                       [&] { env.fabric.inject_crash(victim_node); });
+
+  env.simu.run_for(msec(400));
+  EXPECT_EQ(env.lb.health_of(victim), lb::BackendHealth::Dead);
+  EXPECT_EQ(env.lb.alive_backends(), LbEnv::kBackends - 1);
+  EXPECT_GE(env.lb.fetch_failures(),
+            static_cast<std::uint64_t>(env.lb.health_config().dead_after));
+  for (int i = 0; i < 100; ++i) EXPECT_NE(env.lb.pick(), victim);
+
+  env.fabric.inject_recover(victim_node);
+  env.simu.run_for(msec(400));
+  EXPECT_EQ(env.lb.health_of(victim), lb::BackendHealth::Healthy);
+  EXPECT_EQ(env.lb.alive_backends(), LbEnv::kBackends);
+  bool picked_again = false;
+  for (int i = 0; i < 100 && !picked_again; ++i) {
+    picked_again = env.lb.pick() == victim;
+  }
+  EXPECT_TRUE(picked_again);
+
+  // Transition order: Suspect, then Dead, then (post-recovery) Healthy.
+  std::vector<lb::BackendHealth> victim_states;
+  for (const auto& [b, h] : transitions) {
+    if (b == victim) victim_states.push_back(h);
+  }
+  ASSERT_EQ(victim_states.size(), 3u);
+  EXPECT_EQ(victim_states[0], lb::BackendHealth::Suspect);
+  EXPECT_EQ(victim_states[1], lb::BackendHealth::Dead);
+  EXPECT_EQ(victim_states[2], lb::BackendHealth::Healthy);
+}
+
+TEST(HealthDetector, FrozenBackendStaysHealthyUnderRdmaSync) {
+  // The detector sees only fetch outcomes — and under RDMA-Sync a frozen
+  // back end still answers, so it (correctly) stays in rotation while a
+  // socket-monitored cluster declares it dead.
+  for (const Scheme scheme : {Scheme::RdmaSync, Scheme::SocketSync}) {
+    LbEnv env(scheme);
+    const int victim_node = env.backends[1]->id;
+    env.fabric.simu().at(sim::TimePoint{msec(50).ns},
+                         [&] { env.fabric.inject_freeze(victim_node); });
+    env.simu.run_for(msec(400));
+    if (scheme == Scheme::RdmaSync) {
+      EXPECT_EQ(env.lb.health_of(1), lb::BackendHealth::Healthy);
+      EXPECT_EQ(env.lb.fetch_failures(), 0u);
+    } else {
+      EXPECT_EQ(env.lb.health_of(1), lb::BackendHealth::Dead);
+      EXPECT_GT(env.lb.fetch_failures(), 0u);
+    }
+  }
+}
+
+// --- dispatcher failover (whole-cluster) -------------------------------------
+
+TEST(Failover, PendingRequestsAreRejectedAndRoutingResumesAfterRecovery) {
+  sim::Simulation simu;
+  web::ClusterConfig cfg;
+  cfg.backends = 3;
+  cfg.scheme = Scheme::RdmaSync;
+  cfg.lb_granularity = msec(10);
+  cfg.fetch_timeout = msec(5);
+  cfg.fetch_retries = 1;
+  cfg.retry_backoff = msec(1);
+  cfg.seed = 7;
+  web::ClusterTestbed bed(simu, cfg);
+  web::ClientGroupConfig ccfg;
+  ccfg.threads_per_node = 8;
+  ccfg.think = msec(1);  // keep requests in flight at the crash instant
+  web::ClientGroup& g = bed.add_clients(1, web::make_rubis_generator(), ccfg);
+
+  fault::FaultInjector inj(bed.fabric());
+  fault::FaultPlan plan;
+  plan.crash_for(bed.backend(0).id, sim::TimePoint{msec(300).ns}, msec(400));
+  inj.arm(plan);
+
+  std::uint64_t fwd_at_500 = 0, fwd_at_700 = 0, fwd_at_900 = 0;
+  lb::BackendHealth health_at_500 = lb::BackendHealth::Healthy;
+  simu.at(sim::TimePoint{msec(500).ns}, [&] {
+    fwd_at_500 = bed.dispatcher().per_backend()[0];
+    health_at_500 = bed.balancer().health_of(0);
+  });
+  simu.at(sim::TimePoint{msec(700).ns},
+          [&] { fwd_at_700 = bed.dispatcher().per_backend()[0]; });
+  simu.at(sim::TimePoint{msec(900).ns},
+          [&] { fwd_at_900 = bed.dispatcher().per_backend()[0]; });
+
+  simu.run_for(seconds(2));
+
+  // Detector fired and the dead window saw no new traffic to backend 0.
+  EXPECT_EQ(health_at_500, lb::BackendHealth::Dead);
+  EXPECT_EQ(fwd_at_500, fwd_at_700);
+  // Pending requests were failed over as rejections the clients saw.
+  EXPECT_GT(bed.dispatcher().failed_over(), 0u);
+  EXPECT_EQ(g.stats().rejected(), bed.dispatcher().failed_over());
+  // After recovery (t=700ms) backend 0 is re-admitted and serves again.
+  EXPECT_EQ(bed.balancer().health_of(0), lb::BackendHealth::Healthy);
+  EXPECT_GT(fwd_at_900, fwd_at_700);
+  EXPECT_GT(g.stats().completed(), 0u);
+}
+
+// --- determinism -------------------------------------------------------------
+
+TEST(Determinism, RetryScheduleReplaysExactly) {
+  auto run = [] {
+    Env env;
+    monitor::MonitorChannel chan(env.fabric, env.frontend, env.backend,
+                                 fast_cfg(Scheme::SocketSync));
+    env.fabric.inject_link_fault(env.backend.id, usec(500), 0.5);
+    std::string trace;
+    env.frontend.spawn("mon", [&](SimThread& self) -> Program {
+      for (int i = 0; i < 20; ++i) {
+        co_await os::SleepFor{msec(10)};
+        MonitorSample s;
+        co_await chan.frontend().fetch(self, s);
+        trace += sim::to_string(s.retrieved_at);
+        trace += s.ok ? " ok " : " fail ";
+        trace += std::to_string(s.attempts);
+        trace += '\n';
+      }
+    });
+    env.simu.run_for(seconds(2));
+    return trace;
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_NE(first.find("fail"), std::string::npos);  // the loss actually bit
+}
+
+TEST(Determinism, ClusterRunWithRandomFaultPlanReplaysExactly) {
+  auto run = [] {
+    sim::Simulation simu;
+    web::ClusterConfig cfg;
+    cfg.backends = 3;
+    cfg.scheme = Scheme::SocketSync;
+    cfg.fetch_timeout = msec(10);
+    cfg.fetch_retries = 1;
+    cfg.retry_backoff = msec(2);
+    cfg.seed = 4242;
+    web::ClusterTestbed bed(simu, cfg);
+    web::ClientGroupConfig ccfg;
+    ccfg.threads_per_node = 4;
+    web::ClientGroup& g =
+        bed.add_clients(1, web::make_rubis_generator(), ccfg);
+
+    sim::Rng fault_rng(99);
+    fault::FaultPlan plan =
+        fault::FaultPlan::random(fault_rng, bed.fabric().num_nodes(),
+                                 seconds(2), /*pairs=*/4);
+    fault::FaultInjector inj(bed.fabric());
+    inj.arm(plan);
+    simu.run_for(seconds(2));
+
+    std::string out = plan.describe();
+    out += "completed=" + std::to_string(g.stats().completed());
+    out += " rejected=" + std::to_string(g.stats().rejected());
+    out += " mean_ns=" + std::to_string(g.stats().overall().mean());
+    out += " forwarded=" + std::to_string(bed.dispatcher().forwarded());
+    out += " failed_over=" + std::to_string(bed.dispatcher().failed_over());
+    out += " fetch_failures=" + std::to_string(bed.balancer().fetch_failures());
+    for (int b = 0; b < cfg.backends; ++b) {
+      out += ' ';
+      out += lb::to_string(bed.balancer().health_of(b));
+    }
+    return out;
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace rdmamon

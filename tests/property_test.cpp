@@ -5,6 +5,8 @@
 
 #include <numeric>
 
+#include "fault/fault.hpp"
+#include "monitor/monitor.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
 #include "net/socket.hpp"
@@ -216,6 +218,81 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeSweep,
                              if (ch == '-') ch = '_';
                            return n;
                          });
+
+// --- fault-plan liveness: no fetch ever hangs ----------------------------------------
+
+class FaultPlanSweep
+    : public ::testing::TestWithParam<std::tuple<monitor::Scheme, int>> {};
+
+TEST_P(FaultPlanSweep, EveryFetchResolvesUnderAnyRandomFaultPlan) {
+  // Whatever a random plan does to the fabric — crashes, hung kernels,
+  // lossy links, overlapping windows, faults on the *frontend* — the run
+  // terminates and every issued fetch resolves to exactly one of
+  // success / timeout / transport-error. (At most the final fetch may
+  // still be in flight when the horizon cuts the run off.)
+  const auto [scheme, seed] = GetParam();
+  const sim::Duration horizon = seconds(2);
+  sim::Simulation simu;
+  net::Fabric fabric(simu, {});
+  os::Node frontend(simu, {.name = "frontend"});
+  os::Node backend(simu, {.name = "backend"});
+  fabric.attach(frontend);
+  fabric.attach(backend);
+  monitor::MonitorConfig mcfg;
+  mcfg.scheme = scheme;
+  mcfg.fetch_timeout = msec(5);
+  mcfg.fetch_retries = 2;
+  mcfg.retry_backoff = msec(1);
+  monitor::MonitorChannel chan(fabric, frontend, backend, mcfg);
+
+  sim::Rng rng(static_cast<std::uint64_t>(seed));
+  const fault::FaultPlan plan =
+      fault::FaultPlan::random(rng, fabric.num_nodes(), horizon);
+  fault::FaultInjector inj(fabric);
+  inj.arm(plan);
+
+  int issued = 0, resolved = 0, okay = 0, timeout = 0, transport = 0;
+  frontend.spawn("mon", [&](os::SimThread& self) -> Program {
+    for (;;) {
+      co_await os::SleepFor{msec(7)};
+      monitor::MonitorSample s;
+      ++issued;
+      co_await chan.frontend().fetch(self, s);
+      ++resolved;
+      if (s.ok) {
+        ++okay;
+        EXPECT_EQ(s.error, monitor::FetchError::None);
+      } else if (s.error == monitor::FetchError::Timeout) {
+        ++timeout;
+      } else {
+        EXPECT_EQ(s.error, monitor::FetchError::Transport);
+        ++transport;
+      }
+      EXPECT_GE(s.attempts, 1);
+      EXPECT_LE(s.attempts, mcfg.fetch_retries + 1);
+    }
+  });
+  simu.run_for(horizon);
+
+  EXPECT_GE(issued, 50) << plan.describe();
+  EXPECT_GE(resolved, issued - 1);  // only the horizon-cut fetch may dangle
+  EXPECT_EQ(okay + timeout + transport, resolved);
+  EXPECT_EQ(inj.injected(), plan.size());
+  // Every plan recovers all faults before 95% of the horizon, so the last
+  // fetches run against a healthy fabric again.
+  EXPECT_GT(okay, 0) << plan.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesBySeeds, FaultPlanSweep,
+    ::testing::Combine(::testing::ValuesIn(monitor::kTransportSchemes),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      std::string n = monitor::to_string(std::get<0>(info.param));
+      for (auto& ch : n)
+        if (ch == '-') ch = '_';
+      return n + "_seed" + std::to_string(std::get<1>(info.param));
+    });
 
 // --- utilisation signal properties ---------------------------------------------------
 
