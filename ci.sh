@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI entry point — the same steps .github/workflows/ci.yml runs, for
+# machines without a GitHub runner. Usage:
+#   ./ci.sh            # tier-1 verify (build + ctest)
+#   ./ci.sh sanitize   # ASan/UBSan build + ctest (slower)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+jobs=$(nproc 2>/dev/null || echo 2)
+
+if [[ "${1:-}" == "sanitize" ]]; then
+  cmake -B build-asan -S . -DRDMAMON_SANITIZE=address,undefined
+  cmake --build build-asan -j "$jobs"
+  ctest --test-dir build-asan --output-on-failure -j "$jobs"
+else
+  cmake -B build -S .
+  cmake --build build -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs"
+fi

@@ -70,7 +70,35 @@ void LoadBalancer::record_fetch(std::size_t i, bool ok) {
   }
 }
 
+void LoadBalancer::apply_sample(std::size_t i,
+                                const monitor::MonitorSample& s) {
+  record_fetch(i, s.ok);
+  if (s.ok) {
+    samples_[i] = s;
+    fetch_lat_.add(static_cast<double>(s.latency().ns));
+  }
+}
+
+std::vector<std::size_t> LoadBalancer::poll_targets(
+    std::uint64_t round) const {
+  const int every = health_cfg_.dead_probe_every;
+  const bool probe_dead =
+      every <= 1 || round % static_cast<std::uint64_t>(every) == 0;
+  std::vector<std::size_t> targets;
+  targets.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (probe_dead || health_[i].state != BackendHealth::Dead) {
+      targets.push_back(i);
+    }
+  }
+  return targets;
+}
+
 void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
+  // Join every monitor to the scatter engine's shared completion channel.
+  // Harmless for Sequential mode: the blocking fetch path demuxes by
+  // wr_id off the same CQ.
+  for (auto& ch : channels_) scatter_.add(ch->frontend());
   frontend.spawn("lb-poller", [this, granularity](os::SimThread& t) {
     return poller_body(t, granularity);
   });
@@ -78,20 +106,26 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
 
 os::Program LoadBalancer::poller_body(os::SimThread& self,
                                       sim::Duration granularity) {
-  // Sequential sweep over the back ends every `granularity`, like the
-  // paper's front-end monitoring process. If fetches are slow (loaded
-  // socket schemes), the sweep itself delays refreshes further — a real
-  // effect we deliberately keep.
-  // Dead back ends keep being polled: the failure detector's only
-  // recovery signal is a fetch succeeding again.
-  for (;;) {
-    for (std::size_t i = 0; i < channels_.size(); ++i) {
-      monitor::MonitorSample s;
-      co_await channels_[i]->frontend().fetch(self, s);
-      record_fetch(i, s.ok);
-      if (s.ok) {
-        samples_[i] = s;
-        fetch_lat_.add(static_cast<double>(s.latency().ns));
+  // One poll round every `granularity`. Scatter mode issues the round's
+  // fetches concurrently, so per-backend staleness tracks the slowest
+  // single fetch instead of the sum; Sequential keeps the paper's
+  // original sweep, where a slow (loaded socket scheme) or dead back end
+  // delays every later one — a real effect we deliberately keep
+  // available for comparison.
+  // Dead back ends still get probed — a fetch succeeding again is the
+  // failure detector's only recovery signal — but only on the
+  // dead-probe cadence, so a corpse does not cost a fetch_timeout per
+  // round.
+  for (std::uint64_t round = 0;; ++round) {
+    const std::vector<std::size_t> targets = poll_targets(round);
+    if (poll_mode_ == PollMode::Scatter) {
+      co_await scatter_.round(self, targets, round_buf_);
+      for (std::size_t i : targets) apply_sample(i, round_buf_[i]);
+    } else {
+      for (std::size_t i : targets) {
+        monitor::MonitorSample s;
+        co_await channels_[i]->frontend().fetch(self, s);
+        apply_sample(i, s);
       }
     }
     co_await os::SleepFor{granularity};

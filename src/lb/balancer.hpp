@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "monitor/monitor.hpp"
+#include "monitor/scatter.hpp"
 #include "monitor/scheme.hpp"
 #include "os/node.hpp"
 #include "sim/time.hpp"
@@ -73,7 +74,27 @@ struct HealthConfig {
   int suspect_after = 1;  ///< consecutive failures before Suspect
   int dead_after = 3;     ///< consecutive failures before Dead
   int readmit_after = 2;  ///< consecutive successes to re-admit a Dead one
+  /// A Dead back end is probed only every this many poll rounds: each
+  /// probe costs a full fetch_timeout, so probing every round would let
+  /// one dead server slow the whole poll loop. <= 1 probes every round.
+  int dead_probe_every = 8;
 };
+
+/// How the poller refreshes the back-end samples each round.
+enum class PollMode {
+  /// Scatter-gather: all fetches of a round issued concurrently through
+  /// the ScatterFetcher (RDMA: one batched multi-READ post; sockets: one
+  /// in-flight request per connection). Per-backend staleness is
+  /// independent of N.
+  Scatter,
+  /// Legacy sequential sweep: one blocking fetch after another, so a slow
+  /// or dead back end delays every later one (round time grows O(N)).
+  Sequential,
+};
+
+inline const char* to_string(PollMode m) {
+  return m == PollMode::Scatter ? "scatter" : "sequential";
+}
 
 /// Tracks the latest monitoring sample per back end and picks the least
 /// loaded. A poller thread on the front-end node refreshes the samples
@@ -88,6 +109,10 @@ class LoadBalancer {
 
   /// Replaces the failure-detector thresholds (before or after start).
   void set_health_config(HealthConfig hc) { health_cfg_ = hc; }
+
+  /// Selects the poll strategy (default Scatter). Call before start().
+  void set_poll_mode(PollMode m) { poll_mode_ = m; }
+  PollMode poll_mode() const { return poll_mode_; }
 
   /// Spawns the front-end poller thread. Call once after add_backend.
   void start(os::Node& frontend, sim::Duration granularity);
@@ -134,9 +159,14 @@ class LoadBalancer {
 
   os::Program poller_body(os::SimThread& self, sim::Duration granularity);
   void record_fetch(std::size_t i, bool ok);
+  void apply_sample(std::size_t i, const monitor::MonitorSample& s);
+  /// Targets of poll round `round`: every live back end, plus the Dead
+  /// ones on the dead-probe cadence.
+  std::vector<std::size_t> poll_targets(std::uint64_t round) const;
 
   WeightConfig weights_;
   HealthConfig health_cfg_;
+  PollMode poll_mode_ = PollMode::Scatter;
   std::vector<std::unique_ptr<monitor::MonitorChannel>> channels_;
   std::vector<monitor::MonitorSample> samples_;
   std::vector<Health> health_;
@@ -144,6 +174,8 @@ class LoadBalancer {
   std::vector<std::function<void(int, BackendHealth)>> health_cbs_;
   std::uint64_t fetch_failures_ = 0;
   sim::OnlineStats fetch_lat_;
+  monitor::ScatterFetcher scatter_;  ///< joined at start()
+  std::vector<monitor::MonitorSample> round_buf_;
 };
 
 }  // namespace rdmamon::lb

@@ -105,7 +105,7 @@ FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
                                  net::Socket* client_end)
     : backend_(&backend), sock_(client_end) {
   if (is_rdma(backend.config().scheme)) {
-    qp_.emplace(fabric.nic(frontend.id), backend.node().id, cq_);
+    qp_.emplace(fabric.nic(frontend.id), backend.node().id, *cq_);
   } else {
     assert(client_end != nullptr &&
            "socket schemes need the monitoring connection's client end");
@@ -124,7 +124,10 @@ os::Program FrontendMonitor::fetch(os::SimThread& self, MonitorSample& out) {
         cfg.fetch_timeout.ns > 0
             ? simu.now() + cfg.fetch_timeout
             : sim::TimePoint{std::numeric_limits<std::int64_t>::max()};
-    co_await fetch_once(self, out, deadline);
+    out.ok = false;
+    FetchOp op;
+    co_await issue(self, op, deadline);
+    co_await await_resolution(self, op, out);
     if (out.ok || attempt >= cfg.fetch_retries) break;
     co_await os::SleepFor{backoff};
     backoff = backoff * 2;
@@ -132,43 +135,115 @@ os::Program FrontendMonitor::fetch(os::SimThread& self, MonitorSample& out) {
   out.retrieved_at = simu.now();
 }
 
-os::Program FrontendMonitor::fetch_once(os::SimThread& self,
-                                        MonitorSample& out,
-                                        sim::TimePoint deadline) {
+os::Program FrontendMonitor::issue(os::SimThread& self, FetchOp& op,
+                                   sim::TimePoint deadline) {
   const MonitorConfig& cfg = backend_->config();
-  out.ok = false;
-  if (is_rdma(cfg.scheme)) {
-    net::Completion c;
-    bool got = false;
-    co_await net::rdma_read_sync_until(self, *qp_, backend_->mr_key(),
-                                       cfg.reply_bytes, next_wr_id_++,
-                                       deadline, c, got);
-    if (!got) {
-      out.error = FetchError::Timeout;
-    } else if (c.status != net::WcStatus::Success) {
-      out.error = FetchError::Transport;
-    } else {
-      out.info = std::any_cast<os::LoadSnapshot>(c.data);
-      out.ok = true;
-      out.error = FetchError::None;
-    }
+  op.deadline = deadline;
+  if (qp_) {
+    op.wr_id = cq_->alloc_wr_id();
+    co_await os::Compute{net::kDoorbellCost};
+    qp_->post_read(backend_->mr_key(), cfg.reply_bytes, op.wr_id);
   } else {
     // The monitoring protocol carries no sequence numbers, so a reply to
     // an abandoned earlier request may still be queued: flush before
     // asking again (at worst we answer with a marginally older reading).
     sock_->drain_rx();
     co_await sock_->send(self, cfg.request_bytes, std::any{});
-    net::Message reply;
-    bool got = false;
-    co_await sock_->recv_until(self, reply, deadline, got);
-    if (!got) {
-      out.error = FetchError::Timeout;
+  }
+}
+
+net::ReadBatchEntry FrontendMonitor::prepare_read(FetchOp& op,
+                                                  sim::TimePoint deadline) {
+  assert(qp_.has_value() && "prepare_read is RDMA-only");
+  op.deadline = deadline;
+  op.wr_id = cq_->alloc_wr_id();
+  return net::ReadBatchEntry{&*qp_, backend_->mr_key(),
+                             backend_->config().reply_bytes, op.wr_id};
+}
+
+FrontendMonitor::OpStatus FrontendMonitor::peek(const FetchOp& op) const {
+  if (qp_) {
+    const net::Completion* c = cq_->find(op.wr_id);
+    if (c == nullptr) return OpStatus::Pending;
+    return c->status == net::WcStatus::Success ? OpStatus::Ok
+                                               : OpStatus::Transport;
+  }
+  return sock_->has_data() ? OpStatus::Ok : OpStatus::Pending;
+}
+
+os::Program FrontendMonitor::complete(os::SimThread& self, FetchOp& op,
+                                      MonitorSample& out, OpStatus status) {
+  assert(status != OpStatus::Pending && "complete() requires a resolution");
+  if (qp_) {
+    net::Completion c;
+    const bool got = cq_->try_pop(op.wr_id, c);
+    assert(got && "peek() said resolved but the completion is gone");
+    (void)got;
+    if (c.status != net::WcStatus::Success) {
+      out.ok = false;
+      out.error = FetchError::Transport;
     } else {
-      out.info = std::any_cast<os::LoadSnapshot>(reply.payload);
+      out.info = std::any_cast<os::LoadSnapshot>(c.data);
       out.ok = true;
       out.error = FetchError::None;
     }
+    co_return;  // reaping a completion costs no simulated CPU
   }
+  net::Message reply;
+  co_await sock_->recv_ready(self, reply);
+  out.info = std::any_cast<os::LoadSnapshot>(reply.payload);
+  out.ok = true;
+  out.error = FetchError::None;
+  (void)status;
+}
+
+void FrontendMonitor::abandon(FetchOp& op) {
+  // Sockets need nothing: a late reply stays queued and the next issue()
+  // flushes it (drain_rx).
+  if (qp_) cq_->forget(op.wr_id);
+}
+
+os::WaitQueue& FrontendMonitor::completion_wait_queue() {
+  return qp_ ? cq_->wait_queue() : sock_->rx_wait_queue();
+}
+
+void FrontendMonitor::bind_completion_channel(net::CompletionQueue& shared) {
+  if (qp_) {
+    qp_->bind_cq(shared);
+    cq_ = &shared;
+  } else {
+    sock_->add_rx_watcher(&shared.wait_queue());
+  }
+}
+
+os::Program FrontendMonitor::await_resolution(os::SimThread& self,
+                                              FetchOp& op,
+                                              MonitorSample& out) {
+  sim::Simulation& simu = self.node().simu();
+  os::WaitQueue& wq = completion_wait_queue();
+  // The deadline is a timer that spuriously wakes the completion waiter;
+  // the re-peek then notices the expired clock (the documented wait-queue
+  // discipline). A resolution already queued wins even past the deadline,
+  // matching recv_until / rdma_read_sync_until.
+  sim::EventHandle timer;
+  if (simu.now() < op.deadline && peek(op) == OpStatus::Pending) {
+    timer = simu.at(op.deadline, [&wq] { wq.notify_all(); });
+  }
+  for (;;) {
+    const OpStatus st = peek(op);
+    if (st != OpStatus::Pending) {
+      co_await complete(self, op, out, st);
+      break;
+    }
+    if (simu.now() >= op.deadline) {
+      abandon(op);
+      out.ok = false;
+      out.error = FetchError::Timeout;
+      break;
+    }
+    co_await os::WaitOn{&wq};
+  }
+  timer.cancel();
 }
 
 MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,

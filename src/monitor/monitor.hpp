@@ -106,8 +106,29 @@ class BackendMonitor {
 };
 
 /// Front-end half: issues fetches against one back end.
+///
+/// The fetch path is an async issue/complete split: issue() (or
+/// prepare_read() + a batched post) starts one bounded attempt without
+/// waiting, peek() checks non-blockingly whether it resolved, complete()
+/// consumes the resolution (paying receive-side costs), and abandon()
+/// gives up on an attempt past its deadline. The classic blocking fetch()
+/// is a thin wrapper over these halves, so sequential and scatter-gather
+/// callers share one set of per-attempt semantics.
 class FrontendMonitor {
  public:
+  /// One in-flight fetch attempt created by issue()/prepare_read().
+  struct FetchOp {
+    std::uint64_t wr_id = 0;     ///< RDMA: CQ demux key (CQ-unique)
+    sim::TimePoint deadline{};   ///< this attempt's give-up instant
+  };
+
+  /// Non-blocking resolution state of an attempt.
+  enum class OpStatus {
+    Pending,    ///< nothing arrived yet
+    Ok,         ///< reply/completion ready for complete()
+    Transport,  ///< RDMA error completion ready for complete()
+  };
+
   /// `client_end` is required for socket schemes, ignored for RDMA ones.
   FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
                   BackendMonitor& backend, net::Socket* client_end);
@@ -121,6 +142,45 @@ class FrontendMonitor {
   /// the subprogram ALWAYS resolves — `out.ok` plus `out.error` say how.
   os::Program fetch(os::SimThread& self, MonitorSample& out);
 
+  // --- issue/complete halves (the scatter engine's interface) -----------
+
+  /// Subprogram: issues one attempt, paying the issue-side CPU costs
+  /// (doorbell for RDMA; request send — after flushing stale replies —
+  /// for sockets) and returns without waiting.
+  os::Program issue(os::SimThread& self, FetchOp& op, sim::TimePoint deadline);
+
+  /// RDMA only: readies an attempt for a merged multi-READ post. Allocates
+  /// the wr_id and fills the batch entry; the caller posts the batch via
+  /// net::post_read_batch, paying one doorbell for many attempts.
+  net::ReadBatchEntry prepare_read(FetchOp& op, sim::TimePoint deadline);
+
+  /// Non-blocking: has this attempt resolved?
+  OpStatus peek(const FetchOp& op) const;
+
+  /// Subprogram: consumes a resolved attempt (peek() != Pending), paying
+  /// the receive-side costs (socket recv syscall + copy; RDMA completions
+  /// are free to reap). Fills out.ok / out.error / out.info — never
+  /// retrieved_at or attempts, which belong to the retry loop driving it.
+  os::Program complete(os::SimThread& self, FetchOp& op, MonitorSample& out,
+                       OpStatus status);
+
+  /// Abandons an attempt past its deadline. RDMA: the wr_id is forgotten
+  /// at the CQ, which discards the late completion centrally. Sockets: a
+  /// late reply stays queued and is flushed by the next issue().
+  void abandon(FetchOp& op);
+
+  /// Wait channel that is notified whenever an attempt of this monitor
+  /// may have resolved (the bound CQ for RDMA, the socket rx queue for
+  /// socket schemes). Spurious wakeups possible; re-peek after waking.
+  os::WaitQueue& completion_wait_queue();
+
+  /// Joins a shared completion channel (a scatter engine's CQ): RDMA QPs
+  /// re-point their completions at `shared`; socket replies additionally
+  /// notify `shared`'s wait queue. Call with no attempt in flight.
+  void bind_completion_channel(net::CompletionQueue& shared);
+
+  bool is_rdma_transport() const { return qp_.has_value(); }
+  const MonitorConfig& config() const { return backend_->config(); }
   Scheme scheme() const { return backend_->config().scheme; }
   int backend_node_id() const { return backend_->node().id; }
 
@@ -131,15 +191,16 @@ class FrontendMonitor {
   }
 
  private:
-  /// One bounded attempt; sets out.ok / out.error (never retrieved_at).
-  os::Program fetch_once(os::SimThread& self, MonitorSample& out,
-                         sim::TimePoint deadline);
+  /// Waits (with a deadline timer) until the attempt resolves or expires;
+  /// sets out.ok / out.error. The blocking half of fetch().
+  os::Program await_resolution(os::SimThread& self, FetchOp& op,
+                               MonitorSample& out);
 
   BackendMonitor* backend_;
   net::Socket* sock_ = nullptr;
-  net::CompletionQueue cq_;
+  net::CompletionQueue own_cq_;
+  net::CompletionQueue* cq_ = &own_cq_;  ///< shared CQ once engine-bound
   std::optional<net::QueuePair> qp_;
-  std::uint64_t next_wr_id_ = 1;  ///< matches completions to attempts
 };
 
 /// Convenience bundle: wires a complete monitoring channel (connection for

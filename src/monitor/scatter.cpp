@@ -1,0 +1,150 @@
+#include "monitor/scatter.hpp"
+
+#include <limits>
+
+namespace rdmamon::monitor {
+
+namespace {
+
+constexpr sim::TimePoint kNever{std::numeric_limits<std::int64_t>::max()};
+
+sim::TimePoint attempt_deadline(const MonitorConfig& cfg,
+                                sim::TimePoint now) {
+  return cfg.fetch_timeout.ns > 0 ? now + cfg.fetch_timeout : kNever;
+}
+
+}  // namespace
+
+std::size_t ScatterFetcher::add(FrontendMonitor& m) {
+  m.bind_completion_channel(cq_);
+  targets_.push_back(&m);
+  return targets_.size() - 1;
+}
+
+os::Program ScatterFetcher::round(os::SimThread& self,
+                                  const std::vector<std::size_t>& which,
+                                  std::vector<MonitorSample>& out) {
+  // Per-target attempt state machine: Issue -> Wait -> (Done | Backoff),
+  // Backoff -> Issue. The round ends when every slot is Done.
+  enum class State { Issue, Wait, Backoff, Done };
+  struct Slot {
+    FrontendMonitor* mon = nullptr;
+    MonitorSample* out = nullptr;
+    FrontendMonitor::FetchOp op;
+    State state = State::Issue;
+    int attempt = 0;
+    sim::Duration backoff{};
+    sim::TimePoint resume_at{};  ///< Backoff: when to re-issue
+  };
+
+  sim::Simulation& simu = self.node().simu();
+  if (out.size() < targets_.size()) out.resize(targets_.size());
+
+  std::vector<Slot> slots;
+  slots.reserve(which.size());
+  for (std::size_t i : which) {
+    Slot s;
+    s.mon = targets_[i];
+    s.out = &out[i];
+    *s.out = MonitorSample{};
+    s.out->requested_at = simu.now();
+    s.backoff = s.mon->config().retry_backoff;
+    slots.push_back(s);
+  }
+
+  // A failed attempt either retries (after backoff) or finishes the slot.
+  auto fail = [&simu](Slot& s, FetchError err) {
+    s.out->ok = false;
+    s.out->error = err;
+    if (s.attempt > s.mon->config().fetch_retries) {
+      s.state = State::Done;
+      s.out->retrieved_at = simu.now();
+    } else {
+      s.state = State::Backoff;
+      s.resume_at = simu.now() + s.backoff;
+      s.backoff = s.backoff * 2;
+    }
+  };
+
+  std::vector<net::ReadBatchEntry> batch;
+  for (;;) {
+    // Issue wave: every Issue slot starts one bounded attempt. RDMA
+    // attempts merge into a single multi-READ post (one doorbell for the
+    // lot); socket attempts go out one per connection.
+    batch.clear();
+    for (Slot& s : slots) {
+      if (s.state != State::Issue) continue;
+      s.out->attempts = ++s.attempt;
+      const sim::TimePoint dl = attempt_deadline(s.mon->config(), simu.now());
+      if (s.mon->is_rdma_transport()) {
+        batch.push_back(s.mon->prepare_read(s.op, dl));
+      } else {
+        co_await s.mon->issue(self, s.op, dl);
+      }
+      s.state = State::Wait;
+    }
+    co_await net::post_read_batch(self, batch);
+
+    // Gather wave: reap whatever resolved, time out whatever expired.
+    bool all_done = true;
+    bool any_issue = false;
+    sim::TimePoint next_wake = kNever;
+    for (Slot& s : slots) {
+      if (s.state == State::Wait) {
+        const FrontendMonitor::OpStatus st = s.mon->peek(s.op);
+        if (st == FrontendMonitor::OpStatus::Ok) {
+          co_await s.mon->complete(self, s.op, *s.out, st);
+          s.state = State::Done;
+          s.out->retrieved_at = simu.now();
+        } else if (st == FrontendMonitor::OpStatus::Transport) {
+          co_await s.mon->complete(self, s.op, *s.out, st);
+          fail(s, FetchError::Transport);
+        } else if (simu.now() >= s.op.deadline) {
+          s.mon->abandon(s.op);
+          fail(s, FetchError::Timeout);
+        }
+      }
+      if (s.state == State::Backoff && simu.now() >= s.resume_at) {
+        s.state = State::Issue;
+      }
+      switch (s.state) {
+        case State::Done: break;
+        case State::Issue:
+          all_done = false;
+          any_issue = true;
+          break;
+        case State::Wait:
+          all_done = false;
+          if (s.op.deadline.ns < next_wake.ns) next_wake = s.op.deadline;
+          break;
+        case State::Backoff:
+          all_done = false;
+          if (s.resume_at.ns < next_wake.ns) next_wake = s.resume_at;
+          break;
+      }
+    }
+    if (all_done) break;
+    if (any_issue) continue;  // a backoff just expired: issue immediately
+
+    // Park on the shared channel until something resolves, with a timer at
+    // the earliest deadline/backoff expiry (spurious-wakeup discipline:
+    // the next loop iteration re-checks everything).
+    sim::EventHandle timer;
+    if (next_wake.ns != kNever.ns && simu.now() < next_wake) {
+      timer = simu.at(next_wake, [this] { cq_.wait_queue().notify_all(); });
+    }
+    if (simu.now() < next_wake) {
+      co_await os::WaitOn{&cq_.wait_queue()};
+    }
+    timer.cancel();
+  }
+}
+
+os::Program ScatterFetcher::round_all(os::SimThread& self,
+                                      std::vector<MonitorSample>& out) {
+  std::vector<std::size_t> all(targets_.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  co_await round(self, all, out);
+}
+
+}  // namespace rdmamon::monitor

@@ -1,0 +1,54 @@
+// Scatter-gather monitoring engine: one round fetches from MANY back ends
+// concurrently instead of one after another. Attempts are issued through
+// FrontendMonitor's issue/complete halves — RDMA targets as ONE merged
+// multi-READ post (single doorbell, shared-CQ demux by wr_id), socket
+// targets as one in-flight request per connection — and completions are
+// gathered as they land. Per-target timeout, bounded retry and exponential
+// backoff are preserved exactly, so a scatter round reaches the same
+// per-target verdicts as the sequential path; only the calendar time
+// shrinks from O(N) to roughly the slowest single target.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitor/monitor.hpp"
+#include "net/verbs.hpp"
+
+namespace rdmamon::monitor {
+
+/// Drives concurrent bounded fetches over a fixed set of monitors. All
+/// monitors joined via add() share this engine's completion channel (CQ
+/// for RDMA, rx watcher for sockets), so ONE waiter hears about every
+/// resolution.
+class ScatterFetcher {
+ public:
+  ScatterFetcher() = default;
+  ScatterFetcher(const ScatterFetcher&) = delete;
+  ScatterFetcher& operator=(const ScatterFetcher&) = delete;
+
+  /// Joins a monitor to the engine (re-points its completions at the
+  /// shared channel). Call before the simulation runs fetches; returns the
+  /// target's index.
+  std::size_t add(FrontendMonitor& m);
+
+  /// Subprogram: one scatter round over the targets listed in `which`
+  /// (indices from add()). Fills out[i] for each i in `which`; `out` is
+  /// resized to size() if smaller. Every listed target resolves (ok, or
+  /// error with attempts spent) before the round returns.
+  os::Program round(os::SimThread& self, const std::vector<std::size_t>& which,
+                    std::vector<MonitorSample>& out);
+
+  /// Subprogram: scatter round over every target.
+  os::Program round_all(os::SimThread& self, std::vector<MonitorSample>& out);
+
+  std::size_t size() const { return targets_.size(); }
+  FrontendMonitor& target(std::size_t i) { return *targets_[i]; }
+  net::CompletionQueue& cq() { return cq_; }
+
+ private:
+  std::vector<FrontendMonitor*> targets_;
+  net::CompletionQueue cq_;  ///< shared completion channel (+ wait queue)
+};
+
+}  // namespace rdmamon::monitor

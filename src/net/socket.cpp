@@ -1,5 +1,7 @@
 #include "net/socket.hpp"
 
+#include <cassert>
+
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
 
@@ -69,6 +71,16 @@ os::Program Socket::recv_until(os::SimThread& self, Message& out,
   co_await os::ComputeKernel{cfg.socket_recv_cost +
                              copy_cost(cfg, out.bytes)};
   ok = true;
+  (void)self;
+}
+
+os::Program Socket::recv_ready(os::SimThread& self, Message& out) {
+  assert(!rx_.empty() && "recv_ready requires has_data()");
+  out = std::move(rx_.front());
+  rx_.pop_front();
+  const FabricConfig& cfg = fabric_->config();
+  co_await os::ComputeKernel{cfg.socket_recv_cost +
+                             copy_cost(cfg, out.bytes)};
   (void)self;
 }
 

@@ -6,6 +6,7 @@
 
 #include <any>
 #include <deque>
+#include <vector>
 
 #include "net/message.hpp"
 #include "os/node.hpp"
@@ -34,6 +35,11 @@ class Socket {
   os::Program recv_until(os::SimThread& self, Message& out,
                          sim::TimePoint deadline, bool& ok);
 
+  /// Subprogram: non-blocking receive. Requires has_data(); pops the head
+  /// message and pays the recv syscall + copy cost. Issue/complete engines
+  /// use this to consume a reply they already know has arrived.
+  os::Program recv_ready(os::SimThread& self, Message& out);
+
   /// Discards every queued inbound message, returning how many were
   /// dropped. Protocols without sequence numbers (the monitoring
   /// request/response) use this to flush replies to abandoned requests.
@@ -49,6 +55,15 @@ class Socket {
   bool has_data() const { return !rx_.empty(); }
   std::size_t rx_backlog() const { return rx_.size(); }
 
+  /// The wait queue notified on every delivery — the select()-style wait
+  /// point for consumers that multiplex this socket with other channels.
+  os::WaitQueue& rx_wait_queue() { return rx_wq_; }
+
+  /// Registers an additional wait queue to notify on delivery (epoll-ish):
+  /// a scatter engine parks on its shared completion channel and hears
+  /// about socket replies through this without per-socket waiter threads.
+  void add_rx_watcher(os::WaitQueue* wq) { rx_watchers_.push_back(wq); }
+
   os::Node& local_node() { return *local_; }
   int remote_node_id() const { return remote_node_; }
 
@@ -56,6 +71,7 @@ class Socket {
   void deliver(Message m) {
     rx_.push_back(std::move(m));
     rx_wq_.notify_one();
+    for (os::WaitQueue* wq : rx_watchers_) wq->notify_all();
   }
 
  private:
@@ -67,6 +83,7 @@ class Socket {
   int remote_side_ = 0;  ///< which endpoint of the connection the peer is
   std::deque<Message> rx_;
   os::WaitQueue rx_wq_;
+  std::vector<os::WaitQueue*> rx_watchers_;
 };
 
 /// A bidirectional connection between two nodes; owns its two endpoints.

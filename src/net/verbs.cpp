@@ -6,9 +6,41 @@
 
 namespace rdmamon::net {
 
+const Completion* CompletionQueue::find(std::uint64_t wr_id) const {
+  for (const Completion& c : q_) {
+    if (c.wr_id == wr_id) return &c;
+  }
+  return nullptr;
+}
+
+bool CompletionQueue::try_pop(std::uint64_t wr_id, Completion& out) {
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (it->wr_id == wr_id) {
+      out = std::move(*it);
+      q_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompletionQueue::forget(std::uint64_t wr_id) {
+  for (auto it = q_.begin(); it != q_.end(); ++it) {
+    if (it->wr_id == wr_id) {
+      q_.erase(it);  // already landed: reclaim immediately
+      return;
+    }
+  }
+  forgotten_.insert(wr_id);  // still in flight: drop at push()
+}
+
 void QueuePair::post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id) {
   local_->rdma_read(remote_node_, rkey, len, wr_id,
                     [cq = cq_](Completion c) { cq->push(std::move(c)); });
+}
+
+void QueuePair::post_read_batch(const std::vector<ReadWr>& wrs) {
+  for (const ReadWr& wr : wrs) post_read(wr.rkey, wr.len, wr.wr_id);
 }
 
 void QueuePair::post_write(MrKey rkey, std::any value, std::size_t len,
@@ -17,10 +49,22 @@ void QueuePair::post_write(MrKey rkey, std::any value, std::size_t len,
                      [cq = cq_](Completion c) { cq->push(std::move(c)); });
 }
 
+os::Program post_read_batch(os::SimThread& self,
+                            const std::vector<ReadBatchEntry>& batch) {
+  if (batch.empty()) co_return;
+  // One doorbell for the whole chain; the posts themselves are pointer
+  // writes into the send queue(s), free at this resolution.
+  co_await os::Compute{kDoorbellCost};
+  for (const ReadBatchEntry& e : batch) {
+    e.qp->post_read(e.rkey, e.len, e.wr_id);
+  }
+  (void)self;
+}
+
 os::Program rdma_read_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
                            std::size_t len, Completion& out) {
   // Doorbell: a cheap user-space MMIO write.
-  co_await os::Compute{sim::nsec(300)};
+  co_await os::Compute{kDoorbellCost};
   qp.post_read(rkey, len, /*wr_id=*/0);
   CompletionQueue& cq = qp.cq();
   while (cq.empty()) co_await os::WaitOn{&cq.wait_queue()};
@@ -33,7 +77,7 @@ os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
                                  std::uint64_t wr_id, sim::TimePoint deadline,
                                  Completion& out, bool& ok) {
   ok = false;
-  co_await os::Compute{sim::nsec(300)};
+  co_await os::Compute{kDoorbellCost};
   qp.post_read(rkey, len, wr_id);
   CompletionQueue& cq = qp.cq();
   sim::Simulation& simu = self.node().simu();
@@ -45,16 +89,14 @@ os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
     timer = simu.at(deadline, [&cq] { cq.wait_queue().notify_all(); });
   }
   for (;;) {
-    while (!cq.empty()) {
-      Completion c = cq.pop();
-      if (c.wr_id == wr_id) {
-        out = std::move(c);
-        ok = true;
-        break;
-      }
-      // Stale completion of an abandoned (timed-out) WR: discard.
+    if (cq.try_pop(wr_id, out)) {
+      ok = true;
+      break;
     }
-    if (ok || simu.now() >= deadline) break;
+    if (simu.now() >= deadline) {
+      cq.forget(wr_id);  // the CQ discards the late completion on arrival
+      break;
+    }
     co_await os::WaitOn{&cq.wait_queue()};
   }
   timer.cancel();
@@ -63,7 +105,7 @@ os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
 os::Program rdma_write_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
                             std::any value, std::size_t len,
                             Completion& out) {
-  co_await os::Compute{sim::nsec(300)};
+  co_await os::Compute{kDoorbellCost};
   qp.post_write(rkey, std::move(value), len, /*wr_id=*/0);
   CompletionQueue& cq = qp.cq();
   while (cq.empty()) co_await os::WaitOn{&cq.wait_queue()};

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <unordered_set>
+#include <vector>
 
 #include "os/program.hpp"
 #include "os/wait.hpp"
@@ -21,6 +23,11 @@
 namespace rdmamon::net {
 
 class Nic;
+
+/// User-space cost of ringing the doorbell for one post (or one merged
+/// batch of posts — the RDMAbox-style amortisation the scatter engine
+/// exploits).
+inline constexpr sim::Duration kDoorbellCost = sim::nsec(300);
 
 /// Remote key naming a registered memory region on some node's NIC.
 struct MrKey {
@@ -56,9 +63,17 @@ struct Completion {
 /// Completion queue with a blocking wait channel. A real verbs consumer
 /// would poll; blocking on the wait queue models the same latency without
 /// burning simulated front-end CPU (documented simplification).
+///
+/// Several QPs may share one CQ (the scatter engine's shared-CQ demux):
+/// consumers match completions by wr_id, with ids handed out by
+/// alloc_wr_id() so they are unique per CQ. Stale-completion handling is
+/// centralized here — a consumer that gives up on a WR calls forget() and
+/// the CQ drops that completion whether it is already queued or still in
+/// flight, so no caller ever needs its own discard loop.
 class CompletionQueue {
  public:
   void push(Completion c) {
+    if (forgotten_.erase(c.wr_id) > 0) return;  // abandoned WR: drop on arrival
     q_.push_back(std::move(c));
     wq_.notify_all();
   }
@@ -69,11 +84,41 @@ class CompletionQueue {
     q_.pop_front();
     return c;
   }
+
+  /// Monotonic work-request id source. A CQ shared by many QPs hands out
+  /// CQ-unique ids, so one drain loop can demux all consumers' completions
+  /// by wr_id alone.
+  std::uint64_t alloc_wr_id() { return next_wr_id_++; }
+
+  /// Non-destructive lookup: the queued completion with this wr_id, or
+  /// nullptr if it has not arrived. The pointer is valid until the queue
+  /// is next modified.
+  const Completion* find(std::uint64_t wr_id) const;
+
+  /// Filtered pop: removes and returns the completion matching `wr_id`,
+  /// leaving other consumers' completions queued. False if not arrived.
+  bool try_pop(std::uint64_t wr_id, Completion& out);
+
+  /// Abandons a WR (e.g. its deadline passed): a queued completion with
+  /// this id is dropped now; one still in flight is dropped when it lands.
+  /// The RC fabric always produces exactly one completion per WR, so every
+  /// forgotten id is eventually reclaimed.
+  void forget(std::uint64_t wr_id);
+
   os::WaitQueue& wait_queue() { return wq_; }
 
  private:
   std::deque<Completion> q_;
+  std::unordered_set<std::uint64_t> forgotten_;
+  std::uint64_t next_wr_id_ = 1;
   os::WaitQueue wq_;
+};
+
+/// One work request of a multi-READ post (see QueuePair::post_read_batch).
+struct ReadWr {
+  MrKey rkey;
+  std::size_t len = 0;
+  std::uint64_t wr_id = 0;
 };
 
 /// Reliable-connected queue pair from a local NIC to a remote node.
@@ -86,9 +131,18 @@ class QueuePair {
   /// Completion (with the sampled data) lands in the CQ.
   void post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id);
 
+  /// Posts a chain of READs as one work-request list: every WR is handed
+  /// to the NIC back-to-back and the caller pays a single doorbell cost
+  /// for the whole chain (charged by the posting subprogram, not here).
+  void post_read_batch(const std::vector<ReadWr>& wrs);
+
   /// Posts a one-sided WRITE of `value` to the remote region `rkey`.
   void post_write(MrKey rkey, std::any value, std::size_t len,
                   std::uint64_t wr_id);
+
+  /// Re-points this QP's completions at another CQ (e.g. an engine's
+  /// shared CQ). Must not be called with WRs in flight.
+  void bind_cq(CompletionQueue& cq) { cq_ = &cq; }
 
   int remote_node() const { return remote_node_; }
   CompletionQueue& cq() { return *cq_; }
@@ -98,6 +152,22 @@ class QueuePair {
   int remote_node_;
   CompletionQueue* cq_;
 };
+
+/// One entry of a cross-QP scatter batch: a READ on some QP. The QPs may
+/// target different remote nodes; sharing one CQ lets a single gatherer
+/// drain all their completions.
+struct ReadBatchEntry {
+  QueuePair* qp = nullptr;
+  MrKey rkey;
+  std::size_t len = 0;
+  std::uint64_t wr_id = 0;
+};
+
+/// Subprogram: posts every READ in `batch` back-to-back, charging ONE
+/// doorbell cost for the lot — the WR-merging trick (RDMAbox) that makes a
+/// scatter round's issue phase O(1) in doorbells instead of O(N).
+os::Program post_read_batch(os::SimThread& self,
+                            const std::vector<ReadBatchEntry>& batch);
 
 /// Subprogram: pays the WR post cost, posts a READ and blocks until its
 /// completion arrives, storing it in `out`. The canonical front-end
@@ -112,9 +182,9 @@ os::Program rdma_write_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
 
 /// Deadline-aware variant of rdma_read_sync: posts the READ with `wr_id`
 /// and waits for ITS completion until `deadline`. On timeout `ok` stays
-/// false and the WR is abandoned — its completion (the fabric always
-/// produces one, possibly RetryExceeded) arrives later and is discarded by
-/// the wr_id match of a subsequent call on the same CQ.
+/// false and the WR is abandoned via CompletionQueue::forget — the CQ
+/// drops its completion (the fabric always produces one, possibly
+/// RetryExceeded) whenever it lands.
 os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
                                  MrKey rkey, std::size_t len,
                                  std::uint64_t wr_id, sim::TimePoint deadline,

@@ -42,6 +42,7 @@ int ReconfigManager::dead_nodes() const {
 }
 
 void ReconfigManager::start() {
+  for (auto& ch : channels_) scatter_.add(ch->frontend());
   frontend_->spawn("reconfig-mgr",
                    [this](os::SimThread& t) { return manager_body(t); });
 }
@@ -70,13 +71,15 @@ double ReconfigManager::pool_load(Role r) const {
 os::Program ReconfigManager::manager_body(os::SimThread& self) {
   sim::Simulation& simu = self.node().simu();
   for (;;) {
-    // Refresh every back end's load through the configured scheme. A
-    // back end failing dead_after fetches in a row loses its vote: its
-    // stale load no longer weighs on pool decisions and it cannot be
-    // picked for a role flip until it answers again.
+    // Refresh every back end's load through the configured scheme — one
+    // scatter round, so a dead back end costs a fetch_timeout once per
+    // round instead of stalling the sweep. A back end failing dead_after
+    // fetches in a row loses its vote: its stale load no longer weighs on
+    // pool decisions and it cannot be picked for a role flip until it
+    // answers again.
+    co_await scatter_.round_all(self, round_buf_);
     for (std::size_t i = 0; i < channels_.size(); ++i) {
-      monitor::MonitorSample s;
-      co_await channels_[i]->frontend().fetch(self, s);
+      const monitor::MonitorSample& s = round_buf_[i];
       if (s.ok) {
         samples_[i] = s;
         fail_streak_[i] = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "monitor/monitor.hpp"
+#include "monitor/scatter.hpp"
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
 #include "net/verbs.hpp"
@@ -108,6 +109,11 @@ class ReconfigManager {
   std::vector<std::unique_ptr<monitor::MonitorChannel>> channels_;
   std::vector<monitor::MonitorSample> samples_;
   std::vector<int> fail_streak_;
+  monitor::ScatterFetcher scatter_;  ///< joined at start()
+  std::vector<monitor::MonitorSample> round_buf_;
+  /// Separate CQ for the one-sided role-flip WRITEs: those use the plain
+  /// blocking pop path and must not interleave with the scatter engine's
+  /// wr_id-demuxed monitoring completions.
   net::CompletionQueue cq_;
   std::uint64_t reconfigs_ = 0;
   std::uint64_t fetch_failures_ = 0;

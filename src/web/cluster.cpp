@@ -35,6 +35,7 @@ ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
     lb_->add_backend(std::make_unique<monitor::MonitorChannel>(
         *fabric_, *frontend_, node, mcfg));
   }
+  lb_->set_poll_mode(cfg_.lb_poll_mode);
   lb_->start(*frontend_, cfg_.lb_granularity);
 
   if (cfg_.admission_threshold >= 0.0) {

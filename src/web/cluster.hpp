@@ -42,6 +42,9 @@ struct ClusterConfig {
   sim::Duration retry_backoff = sim::msec(2);
   /// Failure-detector thresholds of the balancer's health tracking.
   lb::HealthConfig health{};
+  /// Poll strategy of the balancer's refresh loop (scatter by default;
+  /// Sequential reproduces the original O(N) sweep).
+  lb::PollMode lb_poll_mode = lb::PollMode::Scatter;
 
   ClusterConfig() {
     backend_node.name = "backend";

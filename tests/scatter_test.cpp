@@ -1,0 +1,417 @@
+// The scatter-gather monitoring plane: shared-CQ demux + centralized
+// stale-completion handling, batched multi-READ posting, the
+// issue/complete split on FrontendMonitor, and the ScatterFetcher round
+// engine. The load-bearing property is PARITY: a scatter round must reach
+// the same per-backend verdicts (ok/error/attempts, health transitions)
+// as the sequential sweep — only the calendar time may differ.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "lb/balancer.hpp"
+#include "monitor/monitor.hpp"
+#include "monitor/scatter.hpp"
+#include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "net/verbs.hpp"
+#include "os/node.hpp"
+#include "sim/simulation.hpp"
+#include "web/cluster.hpp"
+
+namespace rdmamon {
+namespace {
+
+using monitor::FetchError;
+using monitor::FrontendMonitor;
+using monitor::MonitorConfig;
+using monitor::MonitorSample;
+using monitor::Scheme;
+using os::Program;
+using os::SimThread;
+using sim::msec;
+using sim::seconds;
+using sim::usec;
+
+MonitorConfig fast_cfg(Scheme scheme, sim::Duration timeout = msec(5)) {
+  MonitorConfig cfg;
+  cfg.scheme = scheme;
+  cfg.fetch_timeout = timeout;
+  cfg.fetch_retries = 2;
+  cfg.retry_backoff = msec(2);
+  return cfg;
+}
+
+// --- CompletionQueue: demux + centralized stale handling ---------------------
+
+TEST(CompletionQueue, AllocWrIdIsUniqueAndMonotonic) {
+  net::CompletionQueue cq;
+  const std::uint64_t a = cq.alloc_wr_id();
+  const std::uint64_t b = cq.alloc_wr_id();
+  EXPECT_NE(a, b);
+  EXPECT_GT(b, a);
+}
+
+TEST(CompletionQueue, TryPopFiltersByWrIdLeavingOthersQueued) {
+  net::CompletionQueue cq;
+  cq.push({.wr_id = 1});
+  cq.push({.wr_id = 2});
+  cq.push({.wr_id = 3});
+  net::Completion c;
+  ASSERT_TRUE(cq.try_pop(2, c));
+  EXPECT_EQ(c.wr_id, 2u);
+  EXPECT_EQ(cq.size(), 2u);
+  EXPECT_NE(cq.find(1), nullptr);
+  EXPECT_NE(cq.find(3), nullptr);
+  EXPECT_EQ(cq.find(2), nullptr);
+  EXPECT_FALSE(cq.try_pop(2, c));
+}
+
+TEST(CompletionQueue, ForgetDropsQueuedCompletionImmediately) {
+  net::CompletionQueue cq;
+  cq.push({.wr_id = 7});
+  cq.forget(7);
+  EXPECT_TRUE(cq.empty());
+  net::Completion c;
+  EXPECT_FALSE(cq.try_pop(7, c));
+}
+
+TEST(CompletionQueue, ForgetDropsInFlightCompletionOnArrival) {
+  net::CompletionQueue cq;
+  cq.forget(9);
+  cq.push({.wr_id = 9});  // the late completion of an abandoned WR
+  EXPECT_TRUE(cq.empty());
+  // The filter is one-shot: a later WR reusing nothing — a fresh id —
+  // still lands, and so would a (never-issued) reuse of 9.
+  cq.push({.wr_id = 9});
+  EXPECT_EQ(cq.size(), 1u);
+}
+
+// --- batched posting ---------------------------------------------------------
+
+struct RdmaEnv {
+  sim::Simulation simu;
+  net::Fabric fabric{simu, {}};
+  os::Node frontend{simu, {.name = "frontend"}};
+  std::vector<std::unique_ptr<os::Node>> backends;
+  std::vector<net::MrKey> keys;
+
+  explicit RdmaEnv(int n) {
+    fabric.attach(frontend);
+    for (int i = 0; i < n; ++i) {
+      os::NodeConfig cfg;
+      cfg.name = "backend" + std::to_string(i);
+      backends.push_back(std::make_unique<os::Node>(simu, cfg));
+      fabric.attach(*backends.back());
+      keys.push_back(fabric.nic(backends.back()->id)
+                         .register_mr(256, [node = backends.back().get()] {
+                           return std::any(node->procfs().snapshot_dma());
+                         }));
+    }
+  }
+};
+
+TEST(PostReadBatch, OneQpChainCompletesEveryWr) {
+  RdmaEnv env(1);
+  net::CompletionQueue cq;
+  net::QueuePair qp(env.fabric.nic(env.frontend.id), env.backends[0]->id, cq);
+  std::vector<net::ReadWr> wrs;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    wrs.push_back({env.keys[0], 256, cq.alloc_wr_id()});
+  }
+  env.frontend.spawn("poster", [&](SimThread& self) -> Program {
+    co_await os::Compute{net::kDoorbellCost};
+    qp.post_read_batch(wrs);
+  });
+  env.simu.run_for(msec(10));
+  ASSERT_EQ(cq.size(), 4u);
+  for (const net::ReadWr& wr : wrs) {
+    const net::Completion* c = cq.find(wr.wr_id);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->status, net::WcStatus::Success);
+  }
+}
+
+TEST(PostReadBatch, CrossQpBatchSharesOneCqAndOneDoorbell) {
+  RdmaEnv env(3);
+  net::CompletionQueue cq;
+  std::vector<std::unique_ptr<net::QueuePair>> qps;
+  std::vector<net::ReadBatchEntry> batch;
+  for (int i = 0; i < 3; ++i) {
+    qps.push_back(std::make_unique<net::QueuePair>(
+        env.fabric.nic(env.frontend.id), env.backends[i]->id, cq));
+    batch.push_back({qps.back().get(), env.keys[i], 256, cq.alloc_wr_id()});
+  }
+  sim::Duration issue_time{};
+  env.frontend.spawn("poster", [&](SimThread& self) -> Program {
+    const sim::TimePoint t0 = env.simu.now();
+    co_await net::post_read_batch(self, batch);
+    issue_time = env.simu.now() - t0;
+  });
+  env.simu.run_for(msec(10));
+  // One doorbell for the whole cross-QP chain (plus tick rounding slop).
+  EXPECT_LT(issue_time.ns, 3 * net::kDoorbellCost.ns);
+  ASSERT_EQ(cq.size(), 3u);
+  for (const net::ReadBatchEntry& e : batch) {
+    ASSERT_NE(cq.find(e.wr_id), nullptr);
+    EXPECT_EQ(cq.find(e.wr_id)->status, net::WcStatus::Success);
+  }
+}
+
+// --- ScatterFetcher rounds ---------------------------------------------------
+
+struct ChannelEnv {
+  sim::Simulation simu;
+  net::Fabric fabric{simu, {}};
+  os::Node frontend{simu, {.name = "frontend"}};
+  std::vector<std::unique_ptr<os::Node>> backends;
+  std::vector<std::unique_ptr<monitor::MonitorChannel>> channels;
+
+  ChannelEnv(const std::vector<MonitorConfig>& cfgs) {
+    fabric.attach(frontend);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      os::NodeConfig cfg;
+      cfg.name = "backend" + std::to_string(i);
+      backends.push_back(std::make_unique<os::Node>(simu, cfg));
+      fabric.attach(*backends.back());
+      channels.push_back(std::make_unique<monitor::MonitorChannel>(
+          fabric, frontend, *backends.back(), cfgs[i]));
+    }
+  }
+};
+
+class SchemeRoundTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SchemeRoundTest, AllOkRoundFetchesEveryBackendInOneAttempt) {
+  ChannelEnv env(std::vector<MonitorConfig>(4, fast_cfg(GetParam())));
+  monitor::ScatterFetcher scatter;
+  for (auto& ch : env.channels) scatter.add(ch->frontend());
+  std::vector<MonitorSample> samples;
+  sim::Duration round_time{};
+  env.frontend.spawn("poller", [&](SimThread& self) -> Program {
+    co_await os::SleepFor{msec(60)};  // let async daemons publish once
+    const sim::TimePoint t0 = env.simu.now();
+    co_await scatter.round_all(self, samples);
+    round_time = env.simu.now() - t0;
+  });
+  env.simu.run_for(seconds(1));
+  ASSERT_EQ(samples.size(), 4u);
+  for (const MonitorSample& s : samples) {
+    EXPECT_TRUE(s.ok) << monitor::to_string(GetParam());
+    EXPECT_EQ(s.error, FetchError::None);
+    EXPECT_EQ(s.attempts, 1);
+    EXPECT_GE(s.retrieved_at.ns, s.requested_at.ns);
+  }
+  // Concurrency: the round is far below 4x a single fetch (sub-ms for
+  // RDMA, sub-200us-per-target overlap for sockets).
+  EXPECT_LT(round_time.ns, msec(1).ns) << monitor::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, SchemeRoundTest,
+                         ::testing::ValuesIn(monitor::kTransportSchemes),
+                         [](const auto& info) {
+                           std::string n = monitor::to_string(info.param);
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(ScatterRound, FailuresOverlapInsteadOfSerializing) {
+  // Three crashed back ends, one alive: the round costs ~one bounded
+  // fetch (~21ms), not three of them back to back.
+  std::vector<MonitorConfig> cfgs(4, fast_cfg(Scheme::SocketSync));
+  ChannelEnv env(cfgs);
+  for (int i = 1; i < 4; ++i) env.fabric.inject_crash(env.backends[i]->id);
+  monitor::ScatterFetcher scatter;
+  for (auto& ch : env.channels) scatter.add(ch->frontend());
+  std::vector<MonitorSample> samples;
+  sim::Duration round_time{};
+  env.frontend.spawn("poller", [&](SimThread& self) -> Program {
+    const sim::TimePoint t0 = env.simu.now();
+    co_await scatter.round_all(self, samples);
+    round_time = env.simu.now() - t0;
+  });
+  env.simu.run_for(seconds(1));
+  EXPECT_TRUE(samples[0].ok);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_FALSE(samples[static_cast<std::size_t>(i)].ok);
+    EXPECT_EQ(samples[static_cast<std::size_t>(i)].attempts, 3);
+  }
+  // Sequential would need ~3 x 21ms; concurrent resolution stays near one.
+  EXPECT_LT(round_time.ns, msec(30).ns);
+}
+
+TEST(ScatterRound, MixedOutcomesMatchSequentialVerdictsExactly) {
+  // The ISSUE's parity scenario: one back end whose short fetch_timeout
+  // expires before the RC retry budget (Timeout), one whose longer
+  // timeout lets the transport error-complete first (Transport), the
+  // rest healthy. Scatter and sequential must reach identical
+  // (ok, error, attempts) per back end.
+  auto build_cfgs = [] {
+    std::vector<MonitorConfig> cfgs(5, fast_cfg(Scheme::RdmaSync));
+    // RC retry budget (fail_after_retries) error-completes at ~4ms.
+    cfgs[1] = fast_cfg(Scheme::RdmaSync, msec(2));  // gives up first: Timeout
+    cfgs[3] = fast_cfg(Scheme::RdmaSync, msec(6));  // hears the NIC: Transport
+    return cfgs;
+  };
+  auto run = [&](bool scatter_mode) {
+    ChannelEnv env(build_cfgs());
+    env.fabric.inject_crash(env.backends[1]->id);
+    env.fabric.inject_crash(env.backends[3]->id);
+    monitor::ScatterFetcher scatter;
+    for (auto& ch : env.channels) scatter.add(ch->frontend());
+    std::vector<MonitorSample> samples(env.channels.size());
+    env.frontend.spawn("poller", [&](SimThread& self) -> Program {
+      if (scatter_mode) {
+        co_await scatter.round_all(self, samples);
+      } else {
+        for (std::size_t i = 0; i < env.channels.size(); ++i) {
+          co_await env.channels[i]->frontend().fetch(self, samples[i]);
+        }
+      }
+    });
+    env.simu.run_for(seconds(1));
+    return samples;
+  };
+  const std::vector<MonitorSample> scat = run(true);
+  const std::vector<MonitorSample> seq = run(false);
+  ASSERT_EQ(scat.size(), seq.size());
+  for (std::size_t i = 0; i < scat.size(); ++i) {
+    EXPECT_EQ(scat[i].ok, seq[i].ok) << i;
+    EXPECT_EQ(scat[i].error, seq[i].error) << i;
+    EXPECT_EQ(scat[i].attempts, seq[i].attempts) << i;
+  }
+  EXPECT_EQ(scat[1].error, FetchError::Timeout);
+  EXPECT_EQ(scat[1].attempts, 3);
+  EXPECT_EQ(scat[3].error, FetchError::Transport);
+  EXPECT_EQ(scat[3].attempts, 3);
+  for (const std::size_t i : {0u, 2u, 4u}) {
+    EXPECT_TRUE(scat[i].ok);
+    EXPECT_EQ(scat[i].attempts, 1);
+  }
+}
+
+// --- LoadBalancer on the engine ----------------------------------------------
+
+struct LbEnv {
+  static constexpr int kBackends = 3;
+  sim::Simulation simu;
+  net::Fabric fabric{simu, {}};
+  os::Node frontend{simu, {.name = "frontend"}};
+  std::vector<std::unique_ptr<os::Node>> backends;
+  lb::LoadBalancer lb{lb::WeightConfig::for_scheme(Scheme::RdmaSync)};
+
+  LbEnv(Scheme scheme, lb::PollMode mode, lb::HealthConfig hc = {}) {
+    fabric.attach(frontend);
+    lb.set_health_config(hc);
+    lb.set_poll_mode(mode);
+    for (int i = 0; i < kBackends; ++i) {
+      os::NodeConfig cfg;
+      cfg.name = "backend" + std::to_string(i);
+      backends.push_back(std::make_unique<os::Node>(simu, cfg));
+      fabric.attach(*backends.back());
+      lb.add_backend(std::make_unique<monitor::MonitorChannel>(
+          fabric, frontend, *backends.back(), fast_cfg(scheme)));
+    }
+    lb.start(frontend, msec(10));
+  }
+};
+
+TEST(PollModeParity, HealthTransitionsMatchAcrossModes) {
+  // Crash -> recover one back end; both poll modes must walk the same
+  // health transition sequence for every back end.
+  auto run = [](lb::PollMode mode) {
+    LbEnv env(Scheme::RdmaSync, mode);
+    std::vector<std::string> trace;
+    env.lb.on_health_change([&](int b, lb::BackendHealth h) {
+      trace.push_back(std::to_string(b) + ":" + lb::to_string(h));
+    });
+    const int victim_node = env.backends[1]->id;
+    env.simu.at(sim::TimePoint{msec(50).ns},
+                [&] { env.fabric.inject_crash(victim_node); });
+    env.simu.at(sim::TimePoint{msec(400).ns},
+                [&] { env.fabric.inject_recover(victim_node); });
+    env.simu.run_for(seconds(1));
+    trace.push_back("final:" +
+                    std::string(lb::to_string(env.lb.health_of(1))));
+    return trace;
+  };
+  const auto scatter = run(lb::PollMode::Scatter);
+  const auto sequential = run(lb::PollMode::Sequential);
+  EXPECT_EQ(scatter, sequential);
+  ASSERT_GE(scatter.size(), 4u);
+  EXPECT_EQ(scatter[0], "1:suspect");
+  EXPECT_EQ(scatter[1], "1:dead");
+  EXPECT_EQ(scatter[2], "1:healthy");
+  EXPECT_EQ(scatter.back(), "final:healthy");
+}
+
+TEST(DeadProbeCadence, DeadBackendIsProbedEveryNthRoundOnly) {
+  // Once Dead, the victim is fetched only every dead_probe_every rounds,
+  // so failures accrue ~8x slower than with per-round probing.
+  auto failures_in_window = [](int dead_probe_every) {
+    lb::HealthConfig hc;
+    hc.dead_probe_every = dead_probe_every;
+    LbEnv env(Scheme::RdmaSync, lb::PollMode::Scatter, hc);
+    env.fabric.inject_crash(env.backends[1]->id);
+    env.simu.run_for(msec(200));  // long past detection
+    const std::uint64_t at_dead = env.lb.fetch_failures();
+    EXPECT_EQ(env.lb.health_of(1), lb::BackendHealth::Dead);
+    env.simu.run_for(msec(400));
+    return env.lb.fetch_failures() - at_dead;
+  };
+  const std::uint64_t slow = failures_in_window(8);
+  const std::uint64_t fast = failures_in_window(1);
+  // ~40 rounds fit the window at 10ms granularity; cadence 8 probes ~5x.
+  EXPECT_GE(slow, 2u);
+  EXPECT_LE(slow, 8u);
+  EXPECT_GE(fast, 3 * slow);
+}
+
+TEST(Determinism, ScatterClusterRunWithRandomFaultPlanReplaysExactly) {
+  // The engine's event interleavings (batched posts, shared-CQ wakeups,
+  // per-slot timers) must replay bit-for-bit under a random fault plan.
+  auto run = [](Scheme scheme) {
+    sim::Simulation simu;
+    web::ClusterConfig cfg;
+    cfg.backends = 3;
+    cfg.scheme = scheme;
+    cfg.lb_poll_mode = lb::PollMode::Scatter;
+    cfg.fetch_timeout = msec(10);
+    cfg.fetch_retries = 1;
+    cfg.retry_backoff = msec(2);
+    cfg.seed = 777;
+    web::ClusterTestbed bed(simu, cfg);
+    web::ClientGroupConfig ccfg;
+    ccfg.threads_per_node = 4;
+    web::ClientGroup& g =
+        bed.add_clients(1, web::make_rubis_generator(), ccfg);
+
+    sim::Rng fault_rng(55);
+    fault::FaultPlan plan =
+        fault::FaultPlan::random(fault_rng, bed.fabric().num_nodes(),
+                                 seconds(2), /*pairs=*/4);
+    fault::FaultInjector inj(bed.fabric());
+    inj.arm(plan);
+    simu.run_for(seconds(2));
+
+    std::string out = plan.describe();
+    out += "completed=" + std::to_string(g.stats().completed());
+    out += " rejected=" + std::to_string(g.stats().rejected());
+    out += " forwarded=" + std::to_string(bed.dispatcher().forwarded());
+    out += " fetch_failures=" + std::to_string(bed.balancer().fetch_failures());
+    for (int b = 0; b < cfg.backends; ++b) {
+      out += ' ';
+      out += lb::to_string(bed.balancer().health_of(b));
+    }
+    return out;
+  };
+  for (const Scheme scheme : {Scheme::RdmaSync, Scheme::SocketSync}) {
+    EXPECT_EQ(run(scheme), run(scheme)) << monitor::to_string(scheme);
+  }
+}
+
+}  // namespace
+}  // namespace rdmamon
