@@ -10,6 +10,7 @@
 #include "args.hpp"
 #include "common.hpp"
 #include "mixed_workload.hpp"
+#include "report.hpp"
 #include "monitor/accuracy.hpp"
 #include "monitor/push.hpp"
 #include "workload/synthetic.hpp"
@@ -18,7 +19,7 @@ namespace {
 
 using namespace rdmamon;
 
-void ablation_push_vs_pull(bool quick) {
+void ablation_push_vs_pull(bool quick, bench::JsonReport& report) {
   std::cout << "\n[A] Pull (RDMA-Sync) vs multicast push @ T=50ms, loaded "
                "back end:\n";
   const sim::Duration run = quick ? sim::seconds(3) : sim::seconds(8);
@@ -58,6 +59,13 @@ void ablation_push_vs_pull(bool quick) {
                rdmamon::bench::num(acc.staleness_ms().max(), 3),
                "0",
                rdmamon::bench::num(acc.nr_running_deviation().mean(), 2)});
+    auto& r = report.add_result();
+    r["ablation"] = "push_vs_pull";
+    r["mechanism"] = "pull RDMA-Sync";
+    r["staleness_mean_ms"] = acc.staleness_ms().mean();
+    r["staleness_max_ms"] = acc.staleness_ms().max();
+    r["backend_daemons"] = 0;
+    r["nr_running_dev"] = acc.nr_running_deviation().mean();
   }
 
   // --- push: multicast every 50 ms -----------------------------------------
@@ -94,11 +102,18 @@ void ablation_push_vs_pull(bool quick) {
                rdmamon::bench::num(staleness_ms.mean(), 3),
                rdmamon::bench::num(staleness_ms.max(), 3), std::to_string(daemons),
                rdmamon::bench::num(nr_dev.mean(), 2)});
+    auto& r = report.add_result();
+    r["ablation"] = "push_vs_pull";
+    r["mechanism"] = "push multicast";
+    r["staleness_mean_ms"] = staleness_ms.mean();
+    r["staleness_max_ms"] = staleness_ms.max();
+    r["backend_daemons"] = daemons;
+    r["nr_running_dev"] = nr_dev.mean();
   }
   rdmamon::bench::show(t);
 }
 
-void ablation_runq_weight(bool quick) {
+void ablation_runq_weight(bool quick, bench::JsonReport& report) {
   std::cout << "\n[B] Run-queue term in the load index "
                "(RUBiS+Zipf, RDMA-Sync @ 50ms):\n";
   // Re-run the mixed workload with the index's run-queue weight zeroed by
@@ -124,10 +139,18 @@ void ablation_runq_weight(bool quick) {
   t.add_row({"frozen (4096ms)",
              rdmamon::bench::num(coarse_r.total_throughput, 0),
              rdmamon::bench::num(coarse_r.mean_response_ms, 2)});
+  for (const bool frozen : {false, true}) {
+    const auto& res = frozen ? coarse_r : fine_r;
+    auto& r = report.add_result();
+    r["ablation"] = "index_freshness";
+    r["freshness"] = frozen ? "frozen (4096ms)" : "fresh (50ms)";
+    r["throughput_rps"] = res.total_throughput;
+    r["mean_response_ms"] = res.mean_response_ms;
+  }
   rdmamon::bench::show(t);
 }
 
-void ablation_granularity_accuracy(bool quick) {
+void ablation_granularity_accuracy(bool quick, bench::JsonReport& report) {
   std::cout << "\n[C] RDMA-Sync accuracy vs fetch granularity (fresh at "
                "every fetch, by construction):\n";
   const sim::Duration run = quick ? sim::seconds(3) : sim::seconds(8);
@@ -164,6 +187,11 @@ void ablation_granularity_accuracy(bool quick) {
     t.add_row({std::to_string(g),
                rdmamon::bench::num(acc.staleness_ms().mean() * 1e3, 2),
                rdmamon::bench::num(acc.nr_running_deviation().mean(), 3)});
+    auto& r = report.add_result();
+    r["ablation"] = "granularity_accuracy";
+    r["granularity_ms"] = g;
+    r["staleness_mean_us"] = acc.staleness_ms().mean() * 1e3;
+    r["nr_running_dev"] = acc.nr_running_deviation().mean();
   }
   rdmamon::bench::show(t);
 }
@@ -175,8 +203,11 @@ int main(int argc, char** argv) {
   rdmamon::bench::banner(
       "Ablations", "Design-choice ablations from DESIGN.md",
       "push-vs-pull (Section 6), index freshness, granularity vs accuracy");
-  ablation_push_vs_pull(opts.quick);
-  ablation_runq_weight(opts.quick);
-  ablation_granularity_accuracy(opts.quick);
+  rdmamon::bench::JsonReport report("ablation");
+  report.set("quick", opts.quick);
+  ablation_push_vs_pull(opts.quick, report);
+  ablation_runq_weight(opts.quick, report);
+  ablation_granularity_accuracy(opts.quick, report);
+  report.write();
   return 0;
 }

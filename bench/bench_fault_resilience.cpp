@@ -10,6 +10,7 @@
 
 #include "args.hpp"
 #include "common.hpp"
+#include "report.hpp"
 #include "fault/fault.hpp"
 #include "monitor/monitor.hpp"
 #include "net/fabric.hpp"
@@ -143,6 +144,10 @@ int main(int argc, char** argv) {
   const sim::Duration phase_len =
       opts.quick ? sim::msec(500) : sim::seconds(2);
 
+  rdmamon::bench::JsonReport report("fault_resilience");
+  report.set("quick", opts.quick);
+  report.set("phase_seconds", phase_len.seconds());
+
   util::Table table;
   std::vector<std::string> header = {"scheme"};
   for (const char* p : kPhaseNames) {
@@ -155,6 +160,15 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {monitor::to_string(s)};
     for (const auto& p : phases) row.push_back(num(p.availability(), 1));
     table.add_row(row);
+    for (int ph = 0; ph < kPhases; ++ph) {
+      auto& r = report.add_result();
+      r["scheme"] = monitor::to_string(s);
+      r["phase"] = kPhaseNames[ph];
+      r["issued"] = phases[static_cast<std::size_t>(ph)].issued;
+      r["okay"] = phases[static_cast<std::size_t>(ph)].okay;
+      r["availability_pct"] =
+          phases[static_cast<std::size_t>(ph)].availability();
+    }
   }
   std::cout << "\nFetch availability per fault phase (timeout 5 ms, "
                "2 retries):\n";
@@ -170,11 +184,20 @@ int main(int argc, char** argv) {
   ctable.set_header({"scheme", "completed", "rejected", "failed over",
                      "fetch failures", "final health"});
   ctable.set_align(0, util::Align::Left);
+  auto& failover = report.root()["cluster_failover"];
+  failover = util::JsonValue::array();
   for (Scheme s : monitor::kTransportSchemes) {
     const ClusterResult r = run_cluster(s, cluster_run);
     ctable.add_row({monitor::to_string(s), std::to_string(r.completed),
                     std::to_string(r.rejected), std::to_string(r.failed_over),
                     std::to_string(r.fetch_failures), r.final_health});
+    auto& j = failover.push_back(util::JsonValue::object());
+    j["scheme"] = monitor::to_string(s);
+    j["completed"] = r.completed;
+    j["rejected"] = r.rejected;
+    j["failed_over"] = r.failed_over;
+    j["fetch_failures"] = r.fetch_failures;
+    j["final_health"] = r.final_health;
   }
   std::cout << "\nWhole-cluster failover (4 back ends, backend0 crashes for "
                "a quarter of the run, then recovers):\n";
@@ -182,5 +205,6 @@ int main(int argc, char** argv) {
   std::cout << "pending requests on the dead back end are rejected so "
                "clients re-traffic the survivors; the back end is "
                "re-admitted after recovery.\n";
+  report.write();
   return 0;
 }

@@ -4,6 +4,7 @@
 // no degradation at any granularity because nothing runs on the back end.
 #include "args.hpp"
 #include "common.hpp"
+#include "report.hpp"
 #include "monitor/monitor.hpp"
 #include "net/fabric.hpp"
 #include "os/node.hpp"
@@ -59,6 +60,9 @@ int main(int argc, char** argv) {
                  : std::vector<int>{1, 4, 16, 64, 256, 1024};
   const sim::Duration run = opts.quick ? sim::seconds(4) : sim::seconds(10);
 
+  rdmamon::bench::JsonReport report("fig4_granularity");
+  report.set("quick", opts.quick);
+
   rdmamon::util::Table table;
   std::vector<std::string> header = {"granularity (ms)"};
   for (int gm : grans_ms) header.push_back(std::to_string(gm));
@@ -76,6 +80,10 @@ int main(int argc, char** argv) {
       const double pct = app_delay_pct(s, sim::msec(gm), run);
       row.push_back(num(pct, 2));
       ys.push_back(pct);
+      auto& r = report.add_result();
+      r["scheme"] = monitor::to_string(s);
+      r["granularity_ms"] = gm;
+      r["app_delay_pct"] = pct;
     }
     table.add_row(row);
     chart.add_series({monitor::to_string(s), ys});
@@ -83,5 +91,6 @@ int main(int argc, char** argv) {
   std::cout << "\nNormalised application delay (%, lower is better):\n";
   rdmamon::bench::show(table);
   rdmamon::bench::show(chart);
+  report.write();
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "args.hpp"
 #include "common.hpp"
+#include "report.hpp"
 #include "monitor/accuracy.hpp"
 #include "monitor/monitor.hpp"
 #include "net/fabric.hpp"
@@ -121,6 +122,10 @@ int main(int argc, char** argv) {
                                                                  16, 32};
   const sim::Duration run = opts.quick ? sim::seconds(4) : sim::seconds(10);
 
+  rdmamon::bench::JsonReport report("fig5_accuracy");
+  report.set("quick", opts.quick);
+  report.set("seed", opts.seed);
+
   std::vector<std::string> labels;
   for (int c : clients) labels.push_back(std::to_string(c));
 
@@ -146,6 +151,11 @@ int main(int argc, char** argv) {
       row_b.push_back(num(d.cpu_load, 3));
       ya.push_back(d.nr_running);
       yb.push_back(d.cpu_load);
+      auto& r = report.add_result();
+      r["scheme"] = monitor::to_string(s);
+      r["clients"] = c;
+      r["nr_running_dev"] = d.nr_running;
+      r["cpu_load_dev"] = d.cpu_load;
     }
     ta.add_row(row_a);
     tb.add_row(row_b);
@@ -159,5 +169,6 @@ int main(int argc, char** argv) {
   std::cout << "(b) Mean |deviation| of reported CPU load (0..1):\n";
   rdmamon::bench::show(tb);
   rdmamon::bench::show(chart_b);
+  report.write();
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include "args.hpp"
 #include "common.hpp"
+#include "report.hpp"
 #include "monitor/monitor.hpp"
 #include "net/fabric.hpp"
 #include "os/node.hpp"
@@ -84,6 +85,9 @@ int main(int argc, char** argv) {
 
   const sim::Duration run = opts.quick ? sim::seconds(4) : sim::seconds(15);
 
+  rdmamon::bench::JsonReport report("fig6_interrupts");
+  report.set("quick", opts.quick);
+
   rdmamon::util::Table table;
   table.set_header({"scheme", "samples", "CPU0 nonzero", "CPU1 nonzero",
                     "CPU0 total", "CPU1 total"});
@@ -101,6 +105,13 @@ int main(int argc, char** argv) {
     labels.push_back(monitor::to_string(s));
     cpu0_series.push_back(static_cast<double>(o.total_cpu0));
     cpu1_series.push_back(static_cast<double>(o.total_cpu1));
+    auto& r = report.add_result();
+    r["scheme"] = monitor::to_string(s);
+    r["samples"] = o.samples;
+    r["nonzero_cpu0"] = o.nonzero_cpu0;
+    r["nonzero_cpu1"] = o.nonzero_cpu1;
+    r["total_cpu0"] = static_cast<std::int64_t>(o.total_cpu0);
+    r["total_cpu1"] = static_cast<std::int64_t>(o.total_cpu1);
   }
   std::cout << "\nInterrupts observed via irq_stat (bursty NIC load):\n";
   rdmamon::bench::show(table);
@@ -109,5 +120,6 @@ int main(int argc, char** argv) {
   chart.add_series({"CPU0", cpu0_series});
   chart.add_series({"CPU1", cpu1_series});
   rdmamon::bench::show(chart);
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "args.hpp"
 #include "common.hpp"
 #include "mixed_workload.hpp"
+#include "report.hpp"
 
 int main(int argc, char** argv) {
   using namespace rdmamon;
@@ -22,6 +23,10 @@ int main(int argc, char** argv) {
   base.seed = opts.seed;
   base.run = opts.quick ? sim::seconds(6) : sim::seconds(20);
   base.warmup = opts.quick ? sim::seconds(2) : sim::seconds(4);
+
+  bench::JsonReport report("fig7_zipf");
+  report.set("quick", opts.quick);
+  report.set("seed", opts.seed);
 
   util::Table table;
   std::vector<std::string> header = {"scheme \\ alpha"};
@@ -40,6 +45,11 @@ int main(int argc, char** argv) {
     mc.scheme = monitor::Scheme::SocketAsync;
     mc.alpha = a;
     baseline.push_back(bench::run_mixed_workload(mc).total_throughput);
+    auto& r = report.add_result();
+    r["scheme"] = monitor::to_string(monitor::Scheme::SocketAsync);
+    r["alpha"] = a;
+    r["throughput_rps"] = baseline.back();
+    r["improvement_pct"] = 0.0;
   }
   {
     std::vector<std::string> row = {"Socket-Async (req/s)"};
@@ -62,6 +72,11 @@ int main(int argc, char** argv) {
       const double imp = (t / baseline[i] - 1.0) * 100.0;
       row.push_back(bench::num(imp, 1) + "%");
       ys.push_back(imp);
+      auto& r = report.add_result();
+      r["scheme"] = monitor::to_string(s);
+      r["alpha"] = alphas[i];
+      r["throughput_rps"] = t;
+      r["improvement_pct"] = imp;
     }
     table.add_row(row);
     chart.add_series({monitor::to_string(s), ys});
@@ -69,5 +84,6 @@ int main(int argc, char** argv) {
   std::cout << "\nThroughput improvement relative to Socket-Async:\n";
   bench::show(table);
   bench::show(chart);
+  report.write();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "args.hpp"
 #include "common.hpp"
+#include "report.hpp"
 #include "ganglia/ganglia.hpp"
 #include "web/cluster.hpp"
 
@@ -100,6 +101,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> labels;
   for (int t : thresholds_ms) labels.push_back(std::to_string(t));
 
+  rdmamon::bench::JsonReport report("fig8_ganglia");
+  report.set("quick", opts.quick);
+  report.set("seed", opts.seed);
+
   rdmamon::util::Table ta, tb, ma, mb;
   std::vector<std::string> header = {"scheme \\ threshold (ms)"};
   for (int t : thresholds_ms) header.push_back(std::to_string(t));
@@ -126,6 +131,13 @@ int main(int argc, char** argv) {
       max_b.push_back(num(m.browse_max_ms, 1));
       ya.push_back(m.search_mean_ms);
       yb.push_back(m.browse_mean_ms);
+      auto& r = report.add_result();
+      r["scheme"] = monitor::to_string(s);
+      r["threshold_ms"] = t;
+      r["search_mean_ms"] = m.search_mean_ms;
+      r["search_max_ms"] = m.search_max_ms;
+      r["browse_mean_ms"] = m.browse_mean_ms;
+      r["browse_max_ms"] = m.browse_max_ms;
     }
     ma.add_row(mean_a);
     mb.add_row(mean_b);
@@ -144,5 +156,6 @@ int main(int argc, char** argv) {
   rdmamon::bench::show(cb);
   std::cout << "(b) Browse maximum response time (ms):\n";
   rdmamon::bench::show(tb);
+  report.write();
   return 0;
 }

@@ -7,6 +7,7 @@
 #include "args.hpp"
 #include "common.hpp"
 #include "mixed_workload.hpp"
+#include "report.hpp"
 
 int main(int argc, char** argv) {
   using namespace rdmamon;
@@ -24,6 +25,10 @@ int main(int argc, char** argv) {
   base.alpha = 0.5;
   base.run = opts.quick ? sim::seconds(6) : sim::seconds(20);
   base.warmup = opts.quick ? sim::seconds(2) : sim::seconds(4);
+
+  bench::JsonReport report("fig9_finegrain");
+  report.set("quick", opts.quick);
+  report.set("seed", opts.seed);
 
   util::Table table;
   std::vector<std::string> header = {"scheme \\ granularity (ms)"};
@@ -47,6 +52,10 @@ int main(int argc, char** argv) {
       const double t = bench::run_mixed_workload(mc).total_throughput;
       row.push_back(bench::num(t, 0));
       ys.push_back(t);
+      auto& r = report.add_result();
+      r["scheme"] = monitor::to_string(s);
+      r["granularity_ms"] = grans_ms[i];
+      r["throughput_rps"] = t;
       if (i == 0) {  // finest granularity
         if (s == monitor::Scheme::RdmaSync) {
           rdma_at_fine = t;
@@ -66,6 +75,13 @@ int main(int argc, char** argv) {
               << bench::num((rdma_at_fine / best_other_at_fine - 1.0) * 100,
                             1)
               << "% (paper: ~25% at 64 ms)\n";
+    auto& h = report.root()["headline"];
+    h = util::JsonValue::object();
+    h["granularity_ms"] = grans_ms[0];
+    h["rdma_sync_rps"] = rdma_at_fine;
+    h["best_other_rps"] = best_other_at_fine;
+    h["gain_pct"] = (rdma_at_fine / best_other_at_fine - 1.0) * 100.0;
   }
+  report.write();
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "args.hpp"
 #include "common.hpp"
+#include "report.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/scatter.hpp"
 #include "net/fabric.hpp"
@@ -92,6 +93,10 @@ int main(int argc, char** argv) {
       "one-sided monitoring makes per-round cost ~O(1) in N when scattered; "
       "a sequential sweep (and any two-sided scheme) pays per back end");
 
+  rdmamon::bench::JsonReport report("scale_poll");
+  report.set("quick", opt.quick);
+  report.set("rounds", rounds);
+
   for (const bool scatter_mode : {false, true}) {
     std::cout << "\n--- " << (scatter_mode ? "scatter" : "sequential")
               << " polling: mean round time (us) / max sample age at round "
@@ -107,6 +112,12 @@ int main(int argc, char** argv) {
         const RoundStats s = run_rounds(scheme, n, scatter_mode, rounds);
         row.push_back(rdmamon::bench::num(s.round_us.mean(), 1) + " / " +
                       rdmamon::bench::num(s.skew_us.mean(), 1));
+        auto& r = report.add_result();
+        r["scheme"] = rdmamon::monitor::to_string(scheme);
+        r["mode"] = scatter_mode ? "scatter" : "sequential";
+        r["n"] = n;
+        r["round_mean_us"] = s.round_us.mean();
+        r["skew_mean_us"] = s.skew_us.mean();
       }
       table.add_row(row);
     }
@@ -122,5 +133,17 @@ int main(int argc, char** argv) {
             << "us (" << rdmamon::bench::num(
                    large.round_us.mean() / small.round_us.mean(), 2)
             << "x; acceptance: <= 2x)\n";
+  auto& headline = report.root()["headline"];
+  headline = rdmamon::util::JsonValue::object();
+  headline["scheme"] = "RDMA-Sync";
+  headline["n_small"] = ns.front();
+  headline["n_large"] = ns.back();
+  headline["round_small_us"] = small.round_us.mean();
+  headline["round_large_us"] = large.round_us.mean();
+  headline["growth_factor"] =
+      small.round_us.mean() > 0.0
+          ? large.round_us.mean() / small.round_us.mean()
+          : 0.0;
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 // e-RDMA-Sync is consistently the best of all.
 #include "args.hpp"
 #include "common.hpp"
+#include "report.hpp"
 #include "web/cluster.hpp"
 #include "workload/synthetic.hpp"
 
@@ -95,6 +96,21 @@ int main(int argc, char** argv) {
   print_table("Average response time", false);
   print_table("Maximum response time", true);
 
+  rdmamon::bench::JsonReport report("table1_rubis");
+  report.set("quick", opts.quick);
+  report.set("seed", opts.seed);
+  for (std::size_t i = 0; i < monitor::kAllSchemes.size(); ++i) {
+    for (int q = 0; q < workload::kRubisQueryCount; ++q) {
+      const ClassTimes& ct = results[i][static_cast<std::size_t>(q)];
+      auto& r = report.add_result();
+      r["scheme"] = monitor::to_string(monitor::kAllSchemes[i]);
+      r["query"] =
+          workload::to_string(static_cast<workload::RubisQuery>(q));
+      r["avg_ms"] = ct.avg_ms;
+      r["max_ms"] = ct.max_ms;
+    }
+  }
+
   // Headline: max-response improvement of RDMA-Sync vs Socket-Async on the
   // Browse-class queries the paper calls out.
   const int browse = static_cast<int>(workload::RubisQuery::Browse);
@@ -105,6 +121,12 @@ int main(int argc, char** argv) {
               << "ms vs RDMA-Sync " << num(rdma, 1) << "ms ("
               << num((1.0 - rdma / sock) * 100.0, 0)
               << "% reduction; paper reports ~90%/77% on Browse-class)\n";
+    auto& h = report.root()["headline"];
+    h = rdmamon::util::JsonValue::object();
+    h["browse_max_socket_async_ms"] = sock;
+    h["browse_max_rdma_sync_ms"] = rdma;
+    h["reduction_pct"] = (1.0 - rdma / sock) * 100.0;
   }
+  report.write();
   return 0;
 }

@@ -3,6 +3,7 @@
 # machines without a GitHub runner. Usage:
 #   ./ci.sh            # tier-1 verify (build + ctest)
 #   ./ci.sh sanitize   # ASan/UBSan build + ctest (slower)
+#   ./ci.sh bench      # smoke-run quick benches, validate BENCH_*.json
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,6 +13,16 @@ if [[ "${1:-}" == "sanitize" ]]; then
   cmake -B build-asan -S . -DRDMAMON_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
+elif [[ "${1:-}" == "bench" ]]; then
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target \
+    bench_fig3_latency bench_scale_poll bench_fault_resilience
+  mkdir -p bench-results
+  for b in fig3_latency scale_poll fault_resilience; do
+    RDMAMON_BENCH_DIR=bench-results ./build/bench/bench_$b --quick
+    python3 -m json.tool "bench-results/BENCH_$b.json" > /dev/null
+    echo "BENCH_$b.json: valid"
+  done
 else
   cmake -B build -S .
   cmake --build build -j "$jobs"

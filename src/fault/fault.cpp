@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/registry.hpp"
 #include "util/format.hpp"
 
 namespace rdmamon::fault {
@@ -140,6 +141,15 @@ void FaultInjector::apply(const FaultEvent& e) {
   }
   ++injected_;
   log_.push_back(e);
+  telemetry::Registry* reg = telemetry::Registry::of(fabric_->simu());
+  if (reg != nullptr) {
+    reg->counter("fault.injected", telemetry::Labels{{"kind", to_string(e.kind)}})
+        .inc();
+    // Annotated, timestamped record in the span stream so fault windows
+    // can be correlated with fetch/dispatch behaviour.
+    telemetry::span_event(reg, "fault", to_string(e.kind),
+                          "node" + std::to_string(e.node));
+  }
 }
 
 void FaultInjector::arm(const FaultPlan& plan) {

@@ -66,6 +66,17 @@ void LoadBalancer::record_fetch(std::size_t i, bool ok) {
     }
   }
   if (h.state != before) {
+    if (reg_ != nullptr) {
+      telemetry::add(h.state == BackendHealth::Healthy ? m_to_healthy_
+                     : h.state == BackendHealth::Suspect
+                         ? m_to_suspect_
+                         : m_to_dead_);
+      // Timestamped transition record in the span stream.
+      telemetry::span_event(reg_, "lb", "health",
+                            channels_[i]->backend().node().name() + ": " +
+                                to_string(before) + " -> " +
+                                to_string(h.state));
+    }
     for (const auto& cb : health_cbs_) cb(static_cast<int>(i), h.state);
   }
 }
@@ -99,6 +110,30 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
   // Harmless for Sequential mode: the blocking fetch path demuxes by
   // wr_id off the same CQ.
   for (auto& ch : channels_) scatter_.add(ch->frontend());
+  reg_ = telemetry::Registry::of(frontend.simu());
+  if (reg_ != nullptr) {
+    m_pick_.resize(channels_.size(), nullptr);
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      m_pick_[i] = &reg_->counter(
+          "lb.pick",
+          telemetry::Labels{
+              {"backend", channels_[i]->backend().node().name()}});
+    }
+    m_pick_weight_ = &reg_->histogram("lb.pick.weight");
+    auto transition = [&](const char* to) -> telemetry::Counter& {
+      return reg_->counter("lb.health.transitions",
+                           telemetry::Labels{{"to", to}});
+    };
+    m_to_healthy_ = &transition("healthy");
+    m_to_suspect_ = &transition("suspect");
+    m_to_dead_ = &transition("dead");
+    collector_.bind(frontend.simu(), [this](telemetry::Registry& reg) {
+      reg.gauge("lb.alive_backends")
+          .set(static_cast<double>(alive_backends()));
+      reg.gauge("lb.fetch_failures")
+          .set(static_cast<double>(fetch_failures_));
+    });
+  }
   frontend.spawn("lb-poller", [this, granularity](os::SimThread& t) {
     return poller_body(t, granularity);
   });
@@ -147,6 +182,7 @@ int LoadBalancer::pick() {
   };
   double total = 0.0;
   int winner = -1;
+  double winner_w = 0.0;
   bool any_ok = false;
   for (int i = 0; i < n; ++i) {
     if (in_rotation(i) && index_of(i) < weights_.overload_cutoff) {
@@ -174,10 +210,15 @@ int LoadBalancer::pick() {
         (winner < 0 || wrr_credit_[static_cast<std::size_t>(i)] >
                            wrr_credit_[static_cast<std::size_t>(winner)])) {
       winner = i;
+      winner_w = w;
     }
   }
   if (winner < 0) winner = 0;
   wrr_credit_[static_cast<std::size_t>(winner)] -= total;
+  if (reg_ != nullptr) {
+    telemetry::add(m_pick_[static_cast<std::size_t>(winner)]);
+    telemetry::observe(m_pick_weight_, winner_w);
+  }
   return winner;
 }
 

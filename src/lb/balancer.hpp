@@ -15,6 +15,7 @@
 #include "monitor/scheme.hpp"
 #include "os/node.hpp"
 #include "sim/time.hpp"
+#include "telemetry/registry.hpp"
 
 namespace rdmamon::lb {
 
@@ -176,6 +177,15 @@ class LoadBalancer {
   sim::OnlineStats fetch_lat_;
   monitor::ScatterFetcher scatter_;  ///< joined at start()
   std::vector<monitor::MonitorSample> round_buf_;
+  // Telemetry instruments, resolved in start() (null when disabled / no
+  // registry installed on the front end's simulation).
+  telemetry::Registry* reg_ = nullptr;
+  std::vector<telemetry::Counter*> m_pick_;  ///< per-backend dispatch counts
+  telemetry::HistogramMetric* m_pick_weight_ = nullptr;
+  telemetry::Counter* m_to_healthy_ = nullptr;
+  telemetry::Counter* m_to_suspect_ = nullptr;
+  telemetry::Counter* m_to_dead_ = nullptr;
+  telemetry::ScopedCollector collector_;  ///< alive count + failure total
 };
 
 }  // namespace rdmamon::lb

@@ -6,7 +6,15 @@ namespace rdmamon::lb {
 
 Dispatcher::Dispatcher(net::Fabric& fabric, os::Node& frontend,
                        LoadBalancer& lb, DispatcherConfig cfg)
-    : fabric_(&fabric), frontend_(&frontend), lb_(&lb), cfg_(cfg) {}
+    : fabric_(&fabric), frontend_(&frontend), lb_(&lb), cfg_(cfg) {
+  collector_.bind(frontend.simu(), [this](telemetry::Registry& reg) {
+    reg.gauge("lb.dispatch.forwarded").set(static_cast<double>(forwarded_));
+    reg.gauge("lb.dispatch.rejected").set(static_cast<double>(rejected_));
+    reg.gauge("lb.dispatch.failed_over")
+        .set(static_cast<double>(failed_over_));
+    reg.gauge("lb.dispatch.pending").set(static_cast<double>(pending_.size()));
+  });
+}
 
 void Dispatcher::add_backend(web::WebServer& server) {
   net::Connection& conn = fabric_->connect(*frontend_, server.node());

@@ -80,6 +80,8 @@ class Dispatcher {
   std::uint64_t forwarded_ = 0;
   std::uint64_t rejected_ = 0;
   std::uint64_t failed_over_ = 0;
+  /// Publishes the routing totals above at snapshot time.
+  telemetry::ScopedCollector collector_;
 };
 
 }  // namespace rdmamon::lb

@@ -103,7 +103,7 @@ void BackendMonitor::stop() {
 FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
                                  BackendMonitor& backend,
                                  net::Socket* client_end)
-    : backend_(&backend), sock_(client_end) {
+    : backend_(&backend), frontend_(&frontend), sock_(client_end) {
   if (is_rdma(backend.config().scheme)) {
     qp_.emplace(fabric.nic(frontend.id), backend.node().id, *cq_);
   } else {
@@ -112,11 +112,51 @@ FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
   }
 }
 
+void FrontendMonitor::resolve_metrics() {
+  metrics_resolved_ = true;
+  reg_ = telemetry::Registry::of(frontend_->simu());
+  if (reg_ == nullptr) return;
+  telemetry::Labels by_chan{{"scheme", to_string(scheme())},
+                            {"backend", backend_->node().name()}};
+  m_latency_ = &reg_->histogram("monitor.fetch.latency_ns", by_chan);
+  m_staleness_ = &reg_->histogram("monitor.fetch.staleness_ns", by_chan);
+  m_attempts_ = &reg_->histogram("monitor.fetch.attempts", by_chan);
+  auto outcome = [&](const char* result) -> telemetry::Counter& {
+    telemetry::Labels l = by_chan;
+    l.add("result", result);
+    return reg_->counter("monitor.fetch.outcome", l);
+  };
+  m_ok_ = &outcome("ok");
+  m_timeout_ = &outcome("timeout");
+  m_transport_ = &outcome("transport");
+  m_retries_ = &reg_->counter("monitor.fetch.retries", by_chan);
+  m_backoff_waits_ = &reg_->counter("monitor.backoff_waits", by_chan);
+}
+
+void FrontendMonitor::record_sample(const MonitorSample& s) {
+  if constexpr (!telemetry::kEnabled) return;
+  if (!metrics_resolved_) resolve_metrics();
+  if (reg_ == nullptr) return;
+  telemetry::add(s.ok ? m_ok_
+                      : (s.error == FetchError::Timeout ? m_timeout_
+                                                        : m_transport_));
+  telemetry::observe(m_attempts_, static_cast<double>(s.attempts));
+  if (s.attempts > 1) {
+    telemetry::add(m_retries_, static_cast<std::uint64_t>(s.attempts - 1));
+  }
+  if (!s.ok) return;  // latency/staleness are meaningful on success only
+  telemetry::observe(m_latency_, s.latency());
+  telemetry::observe(m_staleness_, s.staleness());
+}
+
 os::Program FrontendMonitor::fetch(os::SimThread& self, MonitorSample& out) {
   out = MonitorSample{};
   sim::Simulation& simu = self.node().simu();
   out.requested_at = simu.now();
   const MonitorConfig& cfg = backend_->config();
+  if (!metrics_resolved_) resolve_metrics();
+  const telemetry::SpanId fetch_span =
+      telemetry::span_begin(reg_, "monitor", "fetch");
   sim::Duration backoff = cfg.retry_backoff;
   for (int attempt = 0;; ++attempt) {
     out.attempts = attempt + 1;
@@ -126,13 +166,21 @@ os::Program FrontendMonitor::fetch(os::SimThread& self, MonitorSample& out) {
             : sim::TimePoint{std::numeric_limits<std::int64_t>::max()};
     out.ok = false;
     FetchOp op;
+    // Each bounded attempt is a child span cause-linked to the fetch.
+    const telemetry::SpanId attempt_span =
+        telemetry::span_begin(reg_, "monitor", "attempt", fetch_span);
     co_await issue(self, op, deadline);
     co_await await_resolution(self, op, out);
+    telemetry::span_end(reg_, attempt_span,
+                        out.ok ? "ok" : to_string(out.error));
     if (out.ok || attempt >= cfg.fetch_retries) break;
+    telemetry::add(m_backoff_waits_);
     co_await os::SleepFor{backoff};
     backoff = backoff * 2;
   }
   out.retrieved_at = simu.now();
+  telemetry::span_end(reg_, fetch_span, out.ok ? "ok" : to_string(out.error));
+  record_sample(out);
 }
 
 os::Program FrontendMonitor::issue(os::SimThread& self, FetchOp& op,

@@ -13,6 +13,7 @@
 #include "net/verbs.hpp"
 #include "os/node.hpp"
 #include "os/procfs.hpp"
+#include "telemetry/registry.hpp"
 
 namespace rdmamon::monitor {
 
@@ -179,6 +180,12 @@ class FrontendMonitor {
   /// notify `shared`'s wait queue. Call with no attempt in flight.
   void bind_completion_channel(net::CompletionQueue& shared);
 
+  /// Telemetry: records one resolved fetch (latency/staleness histograms,
+  /// outcome + retry counters, labeled by scheme and back-end node). The
+  /// retry loop in fetch() calls this; scatter rounds call it per slot so
+  /// both drivers feed the same instruments. No-op without a registry.
+  void record_sample(const MonitorSample& s);
+
   bool is_rdma_transport() const { return qp_.has_value(); }
   const MonitorConfig& config() const { return backend_->config(); }
   Scheme scheme() const { return backend_->config().scheme; }
@@ -196,11 +203,26 @@ class FrontendMonitor {
   os::Program await_resolution(os::SimThread& self, FetchOp& op,
                                MonitorSample& out);
 
+  /// Caches instrument pointers on first use (no-op without a registry).
+  void resolve_metrics();
+
   BackendMonitor* backend_;
+  os::Node* frontend_;
   net::Socket* sock_ = nullptr;
   net::CompletionQueue own_cq_;
   net::CompletionQueue* cq_ = &own_cq_;  ///< shared CQ once engine-bound
   std::optional<net::QueuePair> qp_;
+  // Telemetry instruments (null when disabled / no registry installed).
+  bool metrics_resolved_ = false;
+  telemetry::Registry* reg_ = nullptr;
+  telemetry::HistogramMetric* m_latency_ = nullptr;
+  telemetry::HistogramMetric* m_staleness_ = nullptr;
+  telemetry::HistogramMetric* m_attempts_ = nullptr;
+  telemetry::Counter* m_ok_ = nullptr;
+  telemetry::Counter* m_timeout_ = nullptr;
+  telemetry::Counter* m_transport_ = nullptr;
+  telemetry::Counter* m_retries_ = nullptr;
+  telemetry::Counter* m_backoff_waits_ = nullptr;
 };
 
 /// Convenience bundle: wires a complete monitoring channel (connection for

@@ -15,6 +15,30 @@ sim::TimePoint attempt_deadline(const MonitorConfig& cfg,
 
 }  // namespace
 
+void ScatterFetcher::resolve_metrics(sim::Simulation& simu) {
+  metrics_resolved_ = true;
+  reg_ = telemetry::Registry::of(simu);
+  if (reg_ == nullptr) return;
+  m_rounds_ = &reg_->counter("scatter.rounds");
+  auto outcome = [&](const char* result) -> telemetry::Counter& {
+    return reg_->counter("scatter.outcome",
+                         telemetry::Labels{{"result", result}});
+  };
+  m_ok_ = &outcome("ok");
+  m_timeout_ = &outcome("timeout");
+  m_transport_ = &outcome("transport");
+  m_round_slots_ = &reg_->histogram("scatter.round_slots");
+  m_wave_width_ = &reg_->histogram("scatter.wave_width");
+  m_retries_ = &reg_->histogram("scatter.retries_per_slot");
+  collector_.bind(simu, [this](telemetry::Registry& reg) {
+    reg.gauge("scatter.cq.pushed")
+        .set(static_cast<double>(cq_.completions_pushed()));
+    reg.gauge("scatter.cq.forgets").set(static_cast<double>(cq_.forgets()));
+    reg.gauge("scatter.cq.stale_dropped")
+        .set(static_cast<double>(cq_.stale_dropped()));
+  });
+}
+
 std::size_t ScatterFetcher::add(FrontendMonitor& m) {
   m.bind_completion_channel(cq_);
   targets_.push_back(&m);
@@ -39,6 +63,11 @@ os::Program ScatterFetcher::round(os::SimThread& self,
 
   sim::Simulation& simu = self.node().simu();
   if (out.size() < targets_.size()) out.resize(targets_.size());
+  if (!metrics_resolved_) resolve_metrics(simu);
+  const telemetry::SpanId round_span =
+      telemetry::span_begin(reg_, "scatter", "round");
+  telemetry::add(m_rounds_);
+  telemetry::observe(m_round_slots_, static_cast<double>(which.size()));
 
   std::vector<Slot> slots;
   slots.reserve(which.size());
@@ -52,13 +81,24 @@ os::Program ScatterFetcher::round(os::SimThread& self,
     slots.push_back(s);
   }
 
+  // Telemetry: one slot reached its verdict (ok or exhausted).
+  auto slot_done = [this](const Slot& s) {
+    s.mon->record_sample(*s.out);
+    telemetry::add(s.out->ok
+                       ? m_ok_
+                       : (s.out->error == FetchError::Timeout ? m_timeout_
+                                                              : m_transport_));
+    telemetry::observe(m_retries_, static_cast<double>(s.attempt - 1));
+  };
+
   // A failed attempt either retries (after backoff) or finishes the slot.
-  auto fail = [&simu](Slot& s, FetchError err) {
+  auto fail = [&simu, &slot_done](Slot& s, FetchError err) {
     s.out->ok = false;
     s.out->error = err;
     if (s.attempt > s.mon->config().fetch_retries) {
       s.state = State::Done;
       s.out->retrieved_at = simu.now();
+      slot_done(s);
     } else {
       s.state = State::Backoff;
       s.resume_at = simu.now() + s.backoff;
@@ -72,9 +112,11 @@ os::Program ScatterFetcher::round(os::SimThread& self,
     // attempts merge into a single multi-READ post (one doorbell for the
     // lot); socket attempts go out one per connection.
     batch.clear();
+    std::size_t wave = 0;
     for (Slot& s : slots) {
       if (s.state != State::Issue) continue;
       s.out->attempts = ++s.attempt;
+      ++wave;
       const sim::TimePoint dl = attempt_deadline(s.mon->config(), simu.now());
       if (s.mon->is_rdma_transport()) {
         batch.push_back(s.mon->prepare_read(s.op, dl));
@@ -84,6 +126,9 @@ os::Program ScatterFetcher::round(os::SimThread& self,
       s.state = State::Wait;
     }
     co_await net::post_read_batch(self, batch);
+    if (wave > 0) {
+      telemetry::observe(m_wave_width_, static_cast<double>(wave));
+    }
 
     // Gather wave: reap whatever resolved, time out whatever expired.
     bool all_done = true;
@@ -96,6 +141,7 @@ os::Program ScatterFetcher::round(os::SimThread& self,
           co_await s.mon->complete(self, s.op, *s.out, st);
           s.state = State::Done;
           s.out->retrieved_at = simu.now();
+          slot_done(s);
         } else if (st == FrontendMonitor::OpStatus::Transport) {
           co_await s.mon->complete(self, s.op, *s.out, st);
           fail(s, FetchError::Transport);
@@ -138,6 +184,7 @@ os::Program ScatterFetcher::round(os::SimThread& self,
     }
     timer.cancel();
   }
+  telemetry::span_end(reg_, round_span);
 }
 
 os::Program ScatterFetcher::round_all(os::SimThread& self,

@@ -47,8 +47,23 @@ class ScatterFetcher {
   net::CompletionQueue& cq() { return cq_; }
 
  private:
+  /// Caches instrument pointers and binds the CQ collector on the first
+  /// round (no-op without a registry).
+  void resolve_metrics(sim::Simulation& simu);
+
   std::vector<FrontendMonitor*> targets_;
   net::CompletionQueue cq_;  ///< shared completion channel (+ wait queue)
+  // Telemetry instruments (null when disabled / no registry installed).
+  bool metrics_resolved_ = false;
+  telemetry::Registry* reg_ = nullptr;
+  telemetry::Counter* m_rounds_ = nullptr;
+  telemetry::Counter* m_ok_ = nullptr;
+  telemetry::Counter* m_timeout_ = nullptr;
+  telemetry::Counter* m_transport_ = nullptr;
+  telemetry::HistogramMetric* m_round_slots_ = nullptr;
+  telemetry::HistogramMetric* m_wave_width_ = nullptr;
+  telemetry::HistogramMetric* m_retries_ = nullptr;
+  telemetry::ScopedCollector collector_;  ///< exports the shared CQ counters
 };
 
 }  // namespace rdmamon::monitor

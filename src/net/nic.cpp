@@ -4,7 +4,23 @@
 
 namespace rdmamon::net {
 
-Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {}
+Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {
+  // Snapshot-time export of the NIC's always-on introspection counters;
+  // a no-op bind when no registry is installed.
+  collector_.bind(fabric.simu(), [this](telemetry::Registry& reg) {
+    const telemetry::Labels by_node{{"node", node_.name()}};
+    reg.gauge("net.nic.tx_packets", by_node)
+        .set(static_cast<double>(tx_packets_));
+    reg.gauge("net.nic.rx_packets", by_node)
+        .set(static_cast<double>(rx_packets_));
+    reg.gauge("net.nic.rx_deferred", by_node)
+        .set(static_cast<double>(rx_deferred_));
+    reg.gauge("net.nic.rdma_served", by_node)
+        .set(static_cast<double>(rdma_served_));
+    reg.gauge("net.nic.rdma_posted", by_node)
+        .set(static_cast<double>(rdma_posted_));
+  });
+}
 
 // --- two-sided ----------------------------------------------------------------
 
@@ -96,6 +112,7 @@ MrKey Nic::register_mr(std::size_t bytes, std::function<std::any()> reader,
 void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
                     std::uint64_t wr_id,
                     std::function<void(Completion)> done) {
+  ++rdma_posted_;
   sim::Simulation& simu = fabric_.simu();
   const FabricConfig& cfg = fabric_.config();
   Completion c;
@@ -161,6 +178,7 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
 void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
                      std::size_t len, std::uint64_t wr_id,
                      std::function<void(Completion)> done) {
+  ++rdma_posted_;
   sim::Simulation& simu = fabric_.simu();
   const FabricConfig& cfg = fabric_.config();
   Completion c;

@@ -18,6 +18,7 @@
 #include "net/message.hpp"
 #include "net/verbs.hpp"
 #include "os/node.hpp"
+#include "telemetry/registry.hpp"
 
 namespace rdmamon::net {
 
@@ -63,6 +64,7 @@ class Nic {
   std::uint64_t rx_packets() const { return rx_packets_; }
   std::uint64_t rx_deferred() const { return rx_deferred_; }
   std::uint64_t rdma_ops_served() const { return rdma_served_; }
+  std::uint64_t rdma_ops_posted() const { return rdma_posted_; }
 
  private:
   friend class Fabric;
@@ -81,6 +83,10 @@ class Nic {
   std::uint64_t rx_packets_ = 0;
   std::uint64_t rx_deferred_ = 0;
   std::uint64_t rdma_served_ = 0;
+  std::uint64_t rdma_posted_ = 0;
+  /// Publishes the counters above as gauges at snapshot time, so the
+  /// hot packet paths need no extra bookkeeping.
+  telemetry::ScopedCollector collector_;
 };
 
 }  // namespace rdmamon::net

@@ -16,8 +16,24 @@ sim::Duration copy_cost(const FabricConfig& cfg, std::size_t bytes) {
 
 }  // namespace
 
+void Socket::resolve_metrics() {
+  metrics_resolved_ = true;
+  if (fabric_ == nullptr || local_ == nullptr) return;
+  telemetry::Registry* reg = telemetry::Registry::of(fabric_->simu());
+  if (reg == nullptr) return;
+  const telemetry::Labels by_node{{"node", local_->name()}};
+  tx_msgs_ = &reg->counter("net.socket.tx_msgs", by_node);
+  tx_bytes_ = &reg->counter("net.socket.tx_bytes", by_node);
+  rx_msgs_ = &reg->counter("net.socket.rx_msgs", by_node);
+  rx_bytes_ = &reg->counter("net.socket.rx_bytes", by_node);
+  watcher_wakeups_ = &reg->counter("net.socket.watcher_wakeups", by_node);
+}
+
 os::Program Socket::send(os::SimThread& self, std::size_t bytes,
                          std::any payload) {
+  if (!metrics_resolved_) resolve_metrics();
+  telemetry::add(tx_msgs_);
+  telemetry::add(tx_bytes_, bytes);
   const FabricConfig& cfg = fabric_->config();
   // Syscall trap + protocol + copy, charged as system time.
   co_await os::ComputeKernel{cfg.socket_send_cost + copy_cost(cfg, bytes)};
@@ -33,6 +49,9 @@ os::Program Socket::send(os::SimThread& self, std::size_t bytes,
 }
 
 void Socket::inject_tx(Message m) {
+  if (!metrics_resolved_) resolve_metrics();
+  telemetry::add(tx_msgs_);
+  telemetry::add(tx_bytes_, m.bytes);
   m.src_node = local_->id;
   m.dst_node = remote_node_;
   m.conn = conn_;

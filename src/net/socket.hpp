@@ -12,6 +12,7 @@
 #include "os/node.hpp"
 #include "os/program.hpp"
 #include "os/wait.hpp"
+#include "telemetry/registry.hpp"
 
 namespace rdmamon::net {
 
@@ -69,13 +70,24 @@ class Socket {
 
   /// Delivery from the NIC receive path (protocol cost already paid).
   void deliver(Message m) {
+    if (!metrics_resolved_) resolve_metrics();
+    telemetry::add(rx_msgs_);
+    telemetry::add(rx_bytes_, m.bytes);
     rx_.push_back(std::move(m));
     rx_wq_.notify_one();
-    for (os::WaitQueue* wq : rx_watchers_) wq->notify_all();
+    for (os::WaitQueue* wq : rx_watchers_) {
+      telemetry::add(watcher_wakeups_);
+      wq->notify_all();
+    }
   }
 
  private:
   friend class Connection;
+
+  /// Caches per-node instrument pointers on first traffic (no-ops forever
+  /// when no registry is installed at that point — install before traffic).
+  void resolve_metrics();
+
   os::Node* local_ = nullptr;
   Fabric* fabric_ = nullptr;
   int remote_node_ = -1;
@@ -84,6 +96,12 @@ class Socket {
   std::deque<Message> rx_;
   os::WaitQueue rx_wq_;
   std::vector<os::WaitQueue*> rx_watchers_;
+  bool metrics_resolved_ = false;
+  telemetry::Counter* tx_msgs_ = nullptr;
+  telemetry::Counter* tx_bytes_ = nullptr;
+  telemetry::Counter* rx_msgs_ = nullptr;
+  telemetry::Counter* rx_bytes_ = nullptr;
+  telemetry::Counter* watcher_wakeups_ = nullptr;
 };
 
 /// A bidirectional connection between two nodes; owns its two endpoints.

@@ -3,8 +3,26 @@
 #include "net/nic.hpp"
 #include "os/node.hpp"
 #include "os/thread.hpp"
+#include "telemetry/registry.hpp"
 
 namespace rdmamon::net {
+
+namespace {
+
+/// Telemetry: one doorbell rung by `self`, covering `wrs` work requests
+/// (the scatter engine's merged posts make this ratio interesting).
+/// Wall-clock-only bookkeeping; charges no simulated time.
+void count_doorbell(os::SimThread& self, std::size_t wrs) {
+  telemetry::Registry* reg = telemetry::Registry::of(self.node().simu());
+  if (reg == nullptr) return;
+  const telemetry::Labels by_node{{"node", self.node().name()}};
+  reg->counter("net.doorbells", by_node).inc();
+  reg->counter("net.posts", by_node).inc(wrs);
+  reg->histogram("net.doorbell.wrs", by_node)
+      .observe(static_cast<double>(wrs));
+}
+
+}  // namespace
 
 const Completion* CompletionQueue::find(std::uint64_t wr_id) const {
   for (const Completion& c : q_) {
@@ -25,9 +43,11 @@ bool CompletionQueue::try_pop(std::uint64_t wr_id, Completion& out) {
 }
 
 void CompletionQueue::forget(std::uint64_t wr_id) {
+  ++forgets_;
   for (auto it = q_.begin(); it != q_.end(); ++it) {
     if (it->wr_id == wr_id) {
       q_.erase(it);  // already landed: reclaim immediately
+      ++stale_dropped_;
       return;
     }
   }
@@ -55,21 +75,21 @@ os::Program post_read_batch(os::SimThread& self,
   // One doorbell for the whole chain; the posts themselves are pointer
   // writes into the send queue(s), free at this resolution.
   co_await os::Compute{kDoorbellCost};
+  count_doorbell(self, batch.size());
   for (const ReadBatchEntry& e : batch) {
     e.qp->post_read(e.rkey, e.len, e.wr_id);
   }
-  (void)self;
 }
 
 os::Program rdma_read_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
                            std::size_t len, Completion& out) {
   // Doorbell: a cheap user-space MMIO write.
   co_await os::Compute{kDoorbellCost};
+  count_doorbell(self, 1);
   qp.post_read(rkey, len, /*wr_id=*/0);
   CompletionQueue& cq = qp.cq();
   while (cq.empty()) co_await os::WaitOn{&cq.wait_queue()};
   out = cq.pop();
-  (void)self;
 }
 
 os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
@@ -78,6 +98,7 @@ os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
                                  Completion& out, bool& ok) {
   ok = false;
   co_await os::Compute{kDoorbellCost};
+  count_doorbell(self, 1);
   qp.post_read(rkey, len, wr_id);
   CompletionQueue& cq = qp.cq();
   sim::Simulation& simu = self.node().simu();
@@ -106,11 +127,11 @@ os::Program rdma_write_sync(os::SimThread& self, QueuePair& qp, MrKey rkey,
                             std::any value, std::size_t len,
                             Completion& out) {
   co_await os::Compute{kDoorbellCost};
+  count_doorbell(self, 1);
   qp.post_write(rkey, std::move(value), len, /*wr_id=*/0);
   CompletionQueue& cq = qp.cq();
   while (cq.empty()) co_await os::WaitOn{&cq.wait_queue()};
   out = cq.pop();
-  (void)self;
 }
 
 }  // namespace rdmamon::net

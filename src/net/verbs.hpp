@@ -73,7 +73,11 @@ struct Completion {
 class CompletionQueue {
  public:
   void push(Completion c) {
-    if (forgotten_.erase(c.wr_id) > 0) return;  // abandoned WR: drop on arrival
+    ++pushed_;
+    if (forgotten_.erase(c.wr_id) > 0) {
+      ++stale_dropped_;  // abandoned WR: drop on arrival
+      return;
+    }
     q_.push_back(std::move(c));
     wq_.notify_all();
   }
@@ -107,10 +111,21 @@ class CompletionQueue {
 
   os::WaitQueue& wait_queue() { return wq_; }
 
+  // --- introspection (exported through the telemetry plane) ----------------
+  /// Completions delivered by the fabric (including ones dropped stale).
+  std::uint64_t completions_pushed() const { return pushed_; }
+  /// forget() calls (attempts abandoned past their deadline).
+  std::uint64_t forgets() const { return forgets_; }
+  /// Forgotten-WR completions discarded (on arrival or already queued).
+  std::uint64_t stale_dropped() const { return stale_dropped_; }
+
  private:
   std::deque<Completion> q_;
   std::unordered_set<std::uint64_t> forgotten_;
   std::uint64_t next_wr_id_ = 1;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t forgets_ = 0;
+  std::uint64_t stale_dropped_ = 0;
   os::WaitQueue wq_;
 };
 

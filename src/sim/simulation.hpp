@@ -8,6 +8,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
+namespace rdmamon::telemetry {
+class Registry;
+}
+
 namespace rdmamon::sim {
 
 /// Top-level simulation driver.
@@ -58,10 +62,20 @@ class Simulation {
   /// Number of live events currently scheduled.
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Telemetry hook: the installed metrics registry, or nullptr when the
+  /// run is un-instrumented (the default — components must treat null as
+  /// "telemetry off"). The pointer is opaque here: sim never dereferences
+  /// it, so the sim layer carries no dependency on the telemetry library.
+  /// Install via telemetry::Registry::install BEFORE wiring the system —
+  /// components resolve their instruments at construction time.
+  telemetry::Registry* telemetry() const { return telemetry_; }
+  void set_telemetry(telemetry::Registry* reg) { telemetry_ = reg; }
+
  private:
   EventQueue queue_;
   TimePoint now_{};
   bool stop_requested_ = false;
+  telemetry::Registry* telemetry_ = nullptr;
 };
 
 }  // namespace rdmamon::sim

@@ -1,9 +1,16 @@
 // Lightweight component-tagged tracing. Disabled by default; tests and
 // debugging sessions can route it to stderr or capture it in memory.
+//
+// Hot paths should use the LAZY overloads — pass a callable that builds
+// the message instead of the message itself, so a disabled tracer pays a
+// single level check and never constructs a std::string:
+//
+//   trace.debug("net", [&] { return "posted wr " + std::to_string(id); });
 #pragma once
 
 #include <functional>
 #include <string>
+#include <type_traits>
 
 #include "sim/time.hpp"
 
@@ -32,6 +39,12 @@ class Tracer {
 
   bool enabled(TraceLevel level) const { return level >= level_; }
 
+  /// True when a message at `level` would actually reach the sink — the
+  /// guard the lazy overloads use before building anything.
+  bool would_emit(TraceLevel level) const {
+    return enabled(level) && static_cast<bool>(sink_);
+  }
+
   void debug(const std::string& component, const std::string& msg) {
     emit(TraceLevel::Debug, component, msg);
   }
@@ -40,6 +53,30 @@ class Tracer {
   }
   void warn(const std::string& component, const std::string& msg) {
     emit(TraceLevel::Warn, component, msg);
+  }
+
+  /// Lazy variants: `make_msg` is only invoked when the message will be
+  /// emitted, so disabled tracing costs one branch, not a string build.
+  template <typename F>
+    requires std::is_invocable_r_v<std::string, F>
+  void debug(const std::string& component, F&& make_msg) {
+    if (would_emit(TraceLevel::Debug)) {
+      emit(TraceLevel::Debug, component, std::forward<F>(make_msg)());
+    }
+  }
+  template <typename F>
+    requires std::is_invocable_r_v<std::string, F>
+  void info(const std::string& component, F&& make_msg) {
+    if (would_emit(TraceLevel::Info)) {
+      emit(TraceLevel::Info, component, std::forward<F>(make_msg)());
+    }
+  }
+  template <typename F>
+    requires std::is_invocable_r_v<std::string, F>
+  void warn(const std::string& component, F&& make_msg) {
+    if (would_emit(TraceLevel::Warn)) {
+      emit(TraceLevel::Warn, component, std::forward<F>(make_msg)());
+    }
   }
 
  private:

@@ -1,0 +1,205 @@
+#include "telemetry/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "util/format.hpp"
+
+namespace rdmamon::telemetry {
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = "rdmamon_";
+  for (char c : name) out += (c == '.' || c == '-') ? '_' : c;
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` from the canonical label string ("" -> "").
+std::string prom_labels(const std::string& canonical,
+                        const std::string& extra = "") {
+  if (canonical.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  std::string key, val;
+  bool in_key = true;
+  auto flush = [&] {
+    if (key.empty()) return;
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + val + "\"";
+    key.clear();
+    val.clear();
+  };
+  for (char c : canonical) {
+    if (c == '=' && in_key) {
+      in_key = false;
+    } else if (c == ',') {
+      flush();
+      in_key = true;
+    } else {
+      (in_key ? key : val) += c;
+    }
+  }
+  flush();
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
+std::string num(double v) {
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+const char* kind_str(SnapshotEntry::Kind k) {
+  switch (k) {
+    case SnapshotEntry::Kind::Counter: return "counter";
+    case SnapshotEntry::Kind::Gauge: return "gauge";
+    case SnapshotEntry::Kind::Histogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snap) {
+  std::string out;
+  out += "# rdmamon telemetry snapshot at t=" + std::to_string(snap.at.ns) +
+         "ns\n";
+  for (const SnapshotEntry& e : snap.entries) {
+    const std::string name = prom_name(e.name);
+    switch (e.kind) {
+      case SnapshotEntry::Kind::Counter:
+        out += "# TYPE " + name + "_total counter\n";
+        out += name + "_total" + prom_labels(e.labels) + " " + num(e.value) +
+               "\n";
+        break;
+      case SnapshotEntry::Kind::Gauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + prom_labels(e.labels) + " " + num(e.value) + "\n";
+        break;
+      case SnapshotEntry::Kind::Histogram: {
+        out += "# TYPE " + name + " summary\n";
+        out += name + "_count" + prom_labels(e.labels) + " " +
+               num(static_cast<double>(e.hist.count)) + "\n";
+        out += name + "_mean" + prom_labels(e.labels) + " " +
+               num(e.hist.mean) + "\n";
+        const std::pair<const char*, double> qs[] = {
+            {"0.5", e.hist.p50}, {"0.9", e.hist.p90}, {"0.99", e.hist.p99}};
+        for (const auto& [q, v] : qs) {
+          out += name +
+                 prom_labels(e.labels,
+                             std::string("quantile=\"") + q + "\"") +
+                 " " + num(v) + "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::JsonValue to_json(const Snapshot& snap) {
+  util::JsonValue doc = util::JsonValue::object();
+  doc["at_ns"] = static_cast<std::int64_t>(snap.at.ns);
+  util::JsonValue& metrics = doc["metrics"];
+  metrics = util::JsonValue::array();
+  for (const SnapshotEntry& e : snap.entries) {
+    util::JsonValue m = util::JsonValue::object();
+    m["name"] = e.name;
+    if (!e.labels.empty()) m["labels"] = e.labels;
+    m["kind"] = kind_str(e.kind);
+    if (e.kind == SnapshotEntry::Kind::Histogram) {
+      m["count"] = e.hist.count;
+      m["mean"] = e.hist.mean;
+      m["min"] = e.hist.min;
+      m["max"] = e.hist.max;
+      m["p50"] = e.hist.p50;
+      m["p90"] = e.hist.p90;
+      m["p99"] = e.hist.p99;
+    } else {
+      m["value"] = e.value;
+    }
+    metrics.push_back(std::move(m));
+  }
+  return doc;
+}
+
+util::JsonValue spans_to_json(const SpanTracer& spans) {
+  util::JsonValue arr = util::JsonValue::array();
+  for (const Span& s : spans.finished()) {
+    util::JsonValue j = util::JsonValue::object();
+    j["id"] = s.id;
+    if (s.cause != 0) j["cause"] = s.cause;
+    j["component"] = s.component;
+    j["name"] = s.name;
+    j["begin_ns"] = static_cast<std::int64_t>(s.begin.ns);
+    j["end_ns"] = static_cast<std::int64_t>(s.end.ns);
+    j["outcome"] = s.outcome;
+    if (!s.notes.empty()) {
+      util::JsonValue& notes = j["notes"];
+      notes = util::JsonValue::array();
+      for (const std::string& n : s.notes) notes.push_back(n);
+    }
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) return false;
+  os << text;
+  return static_cast<bool>(os);
+}
+
+void print_dashboard(std::ostream& os, const Snapshot& snap,
+                     const SpanTracer* spans, std::size_t max_spans) {
+  os << "-- telemetry @ t=" << sim::to_string(snap.at) << " ("
+     << snap.entries.size() << " instruments) --\n";
+  for (const SnapshotEntry& e : snap.entries) {
+    os << "  " << util::pad_right(e.name, 34);
+    if (!e.labels.empty()) os << "{" << e.labels << "} ";
+    switch (e.kind) {
+      case SnapshotEntry::Kind::Counter:
+        os << num(e.value);
+        break;
+      case SnapshotEntry::Kind::Gauge:
+        os << num(e.value);
+        break;
+      case SnapshotEntry::Kind::Histogram:
+        os << "n=" << e.hist.count << " mean=" << num(e.hist.mean)
+           << " p50=" << num(e.hist.p50) << " p99=" << num(e.hist.p99);
+        break;
+    }
+    os << '\n';
+  }
+  if (spans != nullptr && !spans->finished().empty()) {
+    os << "  -- last spans --\n";
+    const auto& fin = spans->finished();
+    const std::size_t n = std::min(max_spans, fin.size());
+    for (std::size_t i = fin.size() - n; i < fin.size(); ++i) {
+      const Span& s = fin[i];
+      os << "  #" << s.id;
+      if (s.cause != 0) os << "<-#" << s.cause;
+      os << " " << s.component << "/" << s.name << " " << s.outcome << " "
+         << sim::to_string(s.duration());
+      for (const std::string& note : s.notes) os << " {" << note << "}";
+      os << '\n';
+    }
+  }
+}
+
+}  // namespace rdmamon::telemetry

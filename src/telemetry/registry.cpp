@@ -1,0 +1,143 @@
+#include "telemetry/registry.hpp"
+
+#include <algorithm>
+
+namespace rdmamon::telemetry {
+
+Labels::Labels(
+    std::initializer_list<std::pair<std::string, std::string>> kv) {
+  for (const auto& p : kv) kv_.push_back(p);
+  std::sort(kv_.begin(), kv_.end());
+}
+
+Labels& Labels::add(std::string key, std::string value) {
+  kv_.emplace_back(std::move(key), std::move(value));
+  std::sort(kv_.begin(), kv_.end());
+  return *this;
+}
+
+std::string Labels::canonical() const {
+  std::string out;
+  for (const auto& [k, v] : kv_) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+const SnapshotEntry* Snapshot::find(std::string_view name,
+                                    std::string_view labels) const {
+  for (const SnapshotEntry& e : entries) {
+    if (e.name == name && (labels.empty() || e.labels == labels)) return &e;
+  }
+  return nullptr;
+}
+
+Registry::~Registry() {
+  if (simu_ && simu_->telemetry() == this) simu_->set_telemetry(nullptr);
+}
+
+void Registry::install(sim::Simulation& simu) {
+  simu_ = &simu;
+  simu.set_telemetry(this);
+  spans_.bind_clock([s = &simu] { return s->now(); });
+}
+
+Registry::Instrument& Registry::resolve(std::string_view name,
+                                        const Labels& labels,
+                                        SnapshotEntry::Kind kind) {
+  auto key = std::make_pair(std::string(name), labels.canonical());
+  auto it = instruments_.find(key);
+  if (it == instruments_.end()) {
+    Instrument inst;
+    inst.kind = kind;
+    it = instruments_.emplace(std::move(key), std::move(inst)).first;
+  }
+  // A key can be asked for under several kinds (first-wins for export);
+  // the histogram slot is heap-backed, so materialise it on demand.
+  if (kind == SnapshotEntry::Kind::Histogram && !it->second.hist) {
+    it->second.hist = std::make_unique<HistogramMetric>();
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  return resolve(name, labels, SnapshotEntry::Kind::Counter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  return resolve(name, labels, SnapshotEntry::Kind::Gauge).gauge;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name,
+                                     const Labels& labels) {
+  return *resolve(name, labels, SnapshotEntry::Kind::Histogram).hist;
+}
+
+std::uint64_t Registry::add_collector(std::function<void(Registry&)> fn) {
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Registry::remove_collector(std::uint64_t id) {
+  std::erase_if(collectors_, [id](const auto& c) { return c.first == id; });
+}
+
+void ScopedCollector::bind(sim::Simulation& simu,
+                           std::function<void(Registry&)> fn) {
+  release();
+  Registry* reg = Registry::of(simu);
+  if (reg == nullptr) return;
+  simu_ = &simu;
+  reg_ = reg;
+  id_ = reg->add_collector(std::move(fn));
+}
+
+void ScopedCollector::release() {
+  if (reg_ != nullptr && simu_ != nullptr && Registry::of(*simu_) == reg_) {
+    reg_->remove_collector(id_);
+  }
+  simu_ = nullptr;
+  reg_ = nullptr;
+  id_ = 0;
+}
+
+Snapshot Registry::snapshot() {
+  for (const auto& [id, fn] : collectors_) fn(*this);
+  Snapshot snap;
+  snap.at = now();
+  snap.entries.reserve(instruments_.size());
+  for (const auto& [key, inst] : instruments_) {
+    SnapshotEntry e;
+    e.name = key.first;
+    e.labels = key.second;
+    e.kind = inst.kind;
+    switch (inst.kind) {
+      case SnapshotEntry::Kind::Counter:
+        e.value = static_cast<double>(inst.counter.value());
+        break;
+      case SnapshotEntry::Kind::Gauge:
+        e.value = inst.gauge.value();
+        break;
+      case SnapshotEntry::Kind::Histogram: {
+        const sim::Histogram& h = inst.hist->histogram();
+        e.hist.count = h.count();
+        e.hist.mean = h.mean();
+        e.hist.min = h.min();
+        e.hist.max = h.max();
+        e.hist.p50 = h.percentile(0.50);
+        e.hist.p90 = h.percentile(0.90);
+        e.hist.p99 = h.percentile(0.99);
+        e.value = static_cast<double>(e.hist.count);
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+}  // namespace rdmamon::telemetry

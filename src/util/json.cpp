@@ -1,0 +1,125 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rdmamon::util {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string format_number(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  // Integers print without a fraction so counters stay exact-looking.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", d);
+  return buf;
+}
+
+}  // namespace
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, JsonValue{});
+  return members_.back().second;
+}
+
+JsonValue& JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+void JsonValue::write(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent) *
+                            static_cast<std::size_t>(depth + 1),
+                        ' ');
+  const std::string close_pad(
+      static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (kind_) {
+    case Kind::Null: out += "null"; break;
+    case Kind::Bool: out += bool_ ? "true" : "false"; break;
+    case Kind::Number: out += format_number(num_); break;
+    case Kind::String:
+      out += '"';
+      out += json_escape(str_);
+      out += '"';
+      break;
+    case Kind::Array: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (indent > 0) out += pad;
+        items_[i].write(out, indent, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += nl;
+      }
+      if (indent > 0) out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::Object: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (indent > 0) out += pad;
+        out += '"';
+        out += json_escape(members_[i].first);
+        out += indent > 0 ? "\": " : "\":";
+        members_[i].second.write(out, indent, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += nl;
+      }
+      if (indent > 0) out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  write(out, indent, 0);
+  return out;
+}
+
+}  // namespace rdmamon::util

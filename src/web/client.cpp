@@ -21,7 +21,10 @@ ClientGroup::ClientGroup(net::Fabric& fabric, lb::Dispatcher& dispatcher,
                   });
     }
   }
-  (void)fabric;
+  // Re-export this group's response percentiles at snapshot time.
+  collector_.bind(fabric.simu(), [this](telemetry::Registry& reg) {
+    stats_.export_to(reg, telemetry::Labels{{"group", cfg_.name}});
+  });
 }
 
 os::Program ClientGroup::client_body(os::SimThread& self, net::Socket* sock,

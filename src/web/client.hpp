@@ -23,6 +23,10 @@ struct ClientGroupConfig {
   int threads_per_node = 8;
   sim::Duration think = sim::msec(20);
   std::size_t request_bytes = 512;
+  /// Telemetry label of this group's exported percentiles
+  /// (web.response.*{group=...}). ClusterTestbed fills it from the group's
+  /// creation order when left empty.
+  std::string name = "g0";
 };
 
 /// A set of client threads across one or more client nodes, all running
@@ -44,6 +48,8 @@ class ClientGroup {
   RequestGenerator gen_;
   ClientGroupConfig cfg_;
   ResponseStats stats_;
+  /// Publishes stats_ percentiles at snapshot time.
+  telemetry::ScopedCollector collector_;
   static std::uint64_t next_request_id_;
 };
 

@@ -49,6 +49,9 @@ ClusterTestbed::~ClusterTestbed() = default;
 
 ClientGroup& ClusterTestbed::add_clients(int nodes, RequestGenerator gen,
                                          ClientGroupConfig ccfg) {
+  if (ccfg.name.empty() || (ccfg.name == "g0" && !groups_.empty())) {
+    ccfg.name = "g" + std::to_string(groups_.size());
+  }
   std::vector<os::Node*> group_nodes;
   for (int i = 0; i < nodes; ++i) {
     os::NodeConfig ncfg = cfg_.client_node;

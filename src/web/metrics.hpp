@@ -3,9 +3,11 @@
 #pragma once
 
 #include <map>
+#include <string>
 
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "telemetry/registry.hpp"
 
 namespace rdmamon::web {
 
@@ -13,9 +15,11 @@ namespace rdmamon::web {
 class ResponseStats {
  public:
   void record(int query_class, sim::Duration response_time) {
-    auto& h = per_class_[query_class];
-    h.add(static_cast<double>(response_time.ns));
-    overall_.add(static_cast<double>(response_time.ns));
+    const double ns = static_cast<double>(response_time.ns);
+    per_class_[query_class].add(ns);
+    overall_.add(ns);
+    per_class_hist_[query_class].add(ns);
+    overall_hist_.add(ns);
     ++completed_;
   }
 
@@ -32,6 +36,37 @@ class ResponseStats {
   std::uint64_t completed() const { return completed_; }
   std::uint64_t rejected() const { return rejected_; }
 
+  /// Per-class / overall response-time distributions (log-bucketed, so
+  /// p50/p90/p99 are available, not just the mean).
+  const sim::Histogram& hist_by_class(int query_class) const {
+    static const sim::Histogram empty;
+    auto it = per_class_hist_.find(query_class);
+    return it == per_class_hist_.end() ? empty : it->second;
+  }
+  const sim::Histogram& overall_hist() const { return overall_hist_; }
+
+  /// Re-exports the percentiles gathered so far into the registry as
+  /// gauges (web.response.*), labelled by `base` + {class=...}. Typically
+  /// run from a snapshot-time collector.
+  void export_to(telemetry::Registry& reg,
+                 const telemetry::Labels& base = {}) const {
+    auto put = [&reg, &base](const std::string& cls,
+                             const sim::Histogram& h) {
+      telemetry::Labels l = base;
+      l.add("class", cls);
+      reg.gauge("web.response.count", l)
+          .set(static_cast<double>(h.count()));
+      reg.gauge("web.response.mean_ns", l).set(h.mean());
+      reg.gauge("web.response.p50_ns", l).set(h.percentile(0.50));
+      reg.gauge("web.response.p90_ns", l).set(h.percentile(0.90));
+      reg.gauge("web.response.p99_ns", l).set(h.percentile(0.99));
+    };
+    put("all", overall_hist_);
+    for (const auto& [cls, h] : per_class_hist_) put(std::to_string(cls), h);
+    reg.gauge("web.response.rejected", base)
+        .set(static_cast<double>(rejected_));
+  }
+
   /// Completions per second over the given simulated span.
   double throughput(sim::Duration span) const {
     return span.ns > 0
@@ -43,6 +78,8 @@ class ResponseStats {
   void reset() {
     per_class_.clear();
     overall_ = {};
+    per_class_hist_.clear();
+    overall_hist_.reset();
     completed_ = 0;
     rejected_ = 0;
   }
@@ -50,6 +87,8 @@ class ResponseStats {
  private:
   std::map<int, sim::OnlineStats> per_class_;
   sim::OnlineStats overall_;
+  std::map<int, sim::Histogram> per_class_hist_;
+  sim::Histogram overall_hist_;
   std::uint64_t completed_ = 0;
   std::uint64_t rejected_ = 0;
 };

@@ -228,6 +228,55 @@ TEST(Stats, HistogramPercentiles) {
   EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
 }
 
+TEST(Stats, HistogramPercentileEdges) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.percentile(1.0), 0.0);
+
+  Histogram one;
+  one.add(42.0);
+  // Every quantile of a single sample is that sample (within the
+  // log-bucket resolution, < ~1.6%).
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(one.percentile(q), 42.0, 42.0 * 0.05) << "q=" << q;
+  }
+
+  Histogram zeros;  // nonnegative domain: zero must be representable
+  for (int i = 0; i < 10; ++i) zeros.add(0.0);
+  EXPECT_DOUBLE_EQ(zeros.min(), 0.0);
+  EXPECT_LE(zeros.percentile(0.5), 1.0);
+
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  // q=1 is the top bucket; q=0 the exact min; out-of-band q are clamped.
+  EXPECT_GE(h.percentile(1.0), h.percentile(0.99));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), h.min());
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), h.percentile(1.0));
+}
+
+TEST(Stats, OnlineStatsMergeEdges) {
+  OnlineStats a;  // empty += empty
+  a.merge(OnlineStats{});
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+
+  OnlineStats b;  // empty += populated
+  b.add(3.0);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  a.merge(OnlineStats{});  // populated += empty: unchanged
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);
+}
+
 TEST(Stats, HistogramMergeAndReset) {
   Histogram a, b;
   for (int i = 0; i < 100; ++i) a.add(10.0);
@@ -274,6 +323,47 @@ TEST(Trace, RoutesThroughSinkWithTimestamp) {
   tr.disable();
   tr.warn("net", "dropped");
   EXPECT_EQ(lines.size(), 1u);
+}
+
+TEST(Trace, LazyOverloadSkipsMessageConstructionWhenSuppressed) {
+  Simulation s;
+  Tracer tr;
+  std::vector<std::string> lines;
+  int built = 0;
+  auto make = [&] {
+    ++built;
+    return std::string("expensive message");
+  };
+
+  // Disabled tracer: the callable must never run.
+  tr.debug("net", make);
+  EXPECT_EQ(built, 0);
+
+  tr.enable(
+      TraceLevel::Info, [&](const std::string& l) { lines.push_back(l); },
+      [&] { return s.now(); });
+  tr.debug("net", make);  // below level: still not built
+  EXPECT_EQ(built, 0);
+  tr.info("net", make);  // emitted: built exactly once
+  EXPECT_EQ(built, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("expensive message"), std::string::npos);
+  tr.warn("net", make);  // warn >= info: emitted too
+  EXPECT_EQ(built, 2);
+  EXPECT_EQ(lines.size(), 2u);
+}
+
+TEST(Trace, WouldEmitRequiresLevelAndSink) {
+  Simulation s;
+  Tracer tr;
+  EXPECT_FALSE(tr.would_emit(TraceLevel::Warn));  // no sink, level Off
+  tr.enable(
+      TraceLevel::Warn, [](const std::string&) {},
+      [&] { return s.now(); });
+  EXPECT_FALSE(tr.would_emit(TraceLevel::Info));
+  EXPECT_TRUE(tr.would_emit(TraceLevel::Warn));
+  tr.disable();
+  EXPECT_FALSE(tr.would_emit(TraceLevel::Warn));
 }
 
 }  // namespace

@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <any>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "monitor/meta.hpp"
+#include "monitor/monitor.hpp"
+#include "net/fabric.hpp"
+#include "net/verbs.hpp"
+#include "os/node.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/registry.hpp"
+#include "telemetry/span.hpp"
+
+// Global allocation counter for the disabled-path no-allocation proof.
+// gtest itself allocates, so tests bracket exactly the code under test.
+namespace {
+std::uint64_t g_allocs = 0;
+}
+void* operator new(std::size_t n) {
+  ++g_allocs;
+  void* p = std::malloc(n);
+  if (!p) throw std::bad_alloc{};
+  return p;
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace rdmamon::telemetry {
+namespace {
+
+TEST(Labels, CanonicalIsSortedAndOrderIndependent) {
+  Labels a{{"scheme", "RDMA-Sync"}, {"backend", "b0"}};
+  Labels b{{"backend", "b0"}, {"scheme", "RDMA-Sync"}};
+  EXPECT_EQ(a.canonical(), "backend=b0,scheme=RDMA-Sync");
+  EXPECT_EQ(a.canonical(), b.canonical());
+  EXPECT_TRUE(Labels{}.empty());
+  EXPECT_EQ(Labels{}.canonical(), "");
+}
+
+TEST(Registry, SameNameAndLabelsResolveSameInstrument) {
+  Registry reg;
+  Counter& c1 = reg.counter("x.total", Labels{{"a", "1"}, {"b", "2"}});
+  Counter& c2 = reg.counter("x.total", Labels{{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&c1, &c2);
+  c1.inc(3);
+  EXPECT_EQ(c2.value(), 3u);
+  // Different labels -> different instrument.
+  Counter& c3 = reg.counter("x.total", Labels{{"a", "9"}});
+  EXPECT_NE(&c1, &c3);
+  EXPECT_EQ(reg.instrument_count(), 2u);
+}
+
+TEST(Registry, KindsAreIndependentInstruments) {
+  Registry reg;
+  reg.counter("same.name").inc(1);
+  reg.gauge("same.name").set(7.5);
+  reg.histogram("same.name").observe(2.0);
+  const Snapshot snap = reg.snapshot();
+  // One entry per (name, labels, first-kind-wins) — creating a second kind
+  // under the same key returns a distinct instrument slot.
+  EXPECT_GE(reg.instrument_count(), 1u);
+  ASSERT_NE(snap.find("same.name"), nullptr);
+}
+
+TEST(Registry, SnapshotIsDeterministicAcrossIdenticalRuns) {
+  auto build = [] {
+    Registry reg;
+    reg.counter("z.last", Labels{{"n", "1"}}).inc(4);
+    reg.counter("a.first").inc(2);
+    reg.gauge("m.mid", Labels{{"n", "0"}}).set(1.5);
+    reg.histogram("h.lat").observe(10.0);
+    reg.histogram("h.lat").observe(1000.0);
+    return to_json(reg.snapshot()).dump(2);
+  };
+  const std::string once = build();
+  const std::string twice = build();
+  EXPECT_EQ(once, twice);
+  // Sorted export order: a.first before h.lat before m.mid before z.last.
+  EXPECT_LT(once.find("a.first"), once.find("h.lat"));
+  EXPECT_LT(once.find("h.lat"), once.find("m.mid"));
+  EXPECT_LT(once.find("m.mid"), once.find("z.last"));
+}
+
+TEST(Registry, CollectorsRunAtSnapshotStart) {
+  Registry reg;
+  std::uint64_t component_counter = 0;
+  const std::uint64_t id = reg.add_collector([&](Registry& r) {
+    r.gauge("comp.level").set(static_cast<double>(component_counter));
+  });
+  component_counter = 42;
+  const Snapshot s1 = reg.snapshot();
+  ASSERT_NE(s1.find("comp.level"), nullptr);
+  EXPECT_DOUBLE_EQ(s1.find("comp.level")->value, 42.0);
+  component_counter = 43;
+  const Snapshot s2 = reg.snapshot();
+  EXPECT_DOUBLE_EQ(s2.find("comp.level")->value, 43.0);
+  reg.remove_collector(id);
+  component_counter = 99;
+  const Snapshot s3 = reg.snapshot();
+  EXPECT_DOUBLE_EQ(s3.find("comp.level")->value, 43.0);  // stale, not re-run
+}
+
+TEST(Registry, ScopedCollectorSurvivesEitherDestructionOrder) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  // Collector outlives registry: release() must not touch the dead
+  // registry because Registry's destructor un-installs itself first.
+  sim::Simulation simu;
+  auto holder = std::make_unique<ScopedCollector>();
+  {
+    Registry reg;
+    reg.install(simu);
+    holder->bind(simu, [](Registry& r) { r.gauge("g").set(1.0); });
+    EXPECT_TRUE(holder->bound());
+  }  // registry destroyed before collector
+  holder.reset();  // must not crash
+
+  // Registry outlives collector: normal removal path.
+  Registry reg2;
+  reg2.install(simu);
+  {
+    ScopedCollector sc;
+    sc.bind(simu, [](Registry& r) { r.gauge("g2").set(2.0); });
+  }
+  const Snapshot snap = reg2.snapshot();
+  EXPECT_EQ(snap.find("g2"), nullptr);  // removed before any snapshot
+}
+
+TEST(Registry, OfReturnsInstalledRegistryOrNull) {
+  sim::Simulation simu;
+  EXPECT_EQ(Registry::of(simu), nullptr);
+  Registry reg;
+  reg.install(simu);
+  if constexpr (kEnabled) {
+    EXPECT_EQ(Registry::of(simu), &reg);
+  } else {
+    EXPECT_EQ(Registry::of(simu), nullptr);
+  }
+}
+
+TEST(Spans, NestingAndCauseLinking) {
+  Registry reg;
+  SpanTracer& tr = reg.spans();
+  const SpanId fetch = tr.begin("monitor", "fetch");
+  const SpanId attempt1 = tr.begin("monitor", "attempt", fetch);
+  tr.end(attempt1, "timeout");
+  const SpanId attempt2 = tr.begin("monitor", "attempt", fetch);
+  tr.note(attempt2, "retry after backoff");
+  tr.end(attempt2, "ok");
+  tr.end(fetch, "ok");
+
+  EXPECT_EQ(tr.open_count(), 0u);
+  ASSERT_EQ(tr.finished().size(), 3u);
+  const Span* a1 = tr.find_finished(attempt1);
+  const Span* a2 = tr.find_finished(attempt2);
+  const Span* f = tr.find_finished(fetch);
+  ASSERT_NE(a1, nullptr);
+  ASSERT_NE(a2, nullptr);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(a1->cause, fetch.id);
+  EXPECT_EQ(a2->cause, fetch.id);
+  EXPECT_EQ(f->cause, 0u);
+  EXPECT_EQ(a1->outcome, "timeout");
+  EXPECT_EQ(a2->outcome, "ok");
+  ASSERT_EQ(a2->notes.size(), 1u);
+  EXPECT_EQ(a2->notes[0], "retry after backoff");
+}
+
+TEST(Spans, BoundedRingDropsOldestFinished) {
+  SpanTracer tr;
+  tr.set_capacity(4);
+  std::vector<SpanId> ids;
+  for (int i = 0; i < 10; ++i) {
+    const SpanId s = tr.begin("x", "s" + std::to_string(i));
+    tr.end(s);
+    ids.push_back(s);
+  }
+  EXPECT_EQ(tr.finished().size(), 4u);
+  EXPECT_EQ(tr.started(), 10u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  EXPECT_EQ(tr.find_finished(ids.front()), nullptr);  // evicted
+  EXPECT_NE(tr.find_finished(ids.back()), nullptr);
+  EXPECT_EQ(tr.finished().front().name, "s6");
+}
+
+TEST(Spans, EndOfUnknownIdIsNoop) {
+  SpanTracer tr;
+  tr.end(SpanId{9999});      // never started
+  tr.note(SpanId{9999}, "x");
+  EXPECT_EQ(tr.finished().size(), 0u);
+  EXPECT_FALSE(SpanId{});
+  EXPECT_TRUE(SpanId{1});
+}
+
+TEST(Spans, EventIsInstantAnnotatedSpan) {
+  Registry reg;
+  const SpanId e = reg.spans().event("fault", "crash", "node2 down");
+  const Span* s = reg.spans().find_finished(e);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->begin.ns, s->end.ns);
+  ASSERT_EQ(s->notes.size(), 1u);
+  EXPECT_EQ(s->notes[0], "node2 down");
+}
+
+TEST(Spans, MirrorsEndsToSimTracer) {
+  Registry reg;
+  sim::Tracer tracer;
+  std::vector<std::string> lines;
+  tracer.enable(
+      sim::TraceLevel::Debug, [&](const std::string& l) { lines.push_back(l); },
+      [] { return sim::TimePoint{}; });
+  reg.spans().mirror_to(&tracer);
+  const SpanId s = reg.spans().begin("monitor", "fetch");
+  reg.spans().end(s, "ok");
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines.back().find("fetch"), std::string::npos);
+}
+
+TEST(RecordHelpers, NullTolerant) {
+  // The hot-path helpers must accept null instrument pointers (registry
+  // absent) without crashing.
+  add(nullptr);
+  add(nullptr, 5);
+  set(nullptr, 1.0);
+  observe(static_cast<HistogramMetric*>(nullptr), 2.0);
+  observe(static_cast<HistogramMetric*>(nullptr), sim::usec(3));
+  EXPECT_FALSE(span_begin(nullptr, "c", "n"));
+  span_end(nullptr, SpanId{1});
+  span_event(nullptr, "c", "n", "note");
+}
+
+TEST(RecordHelpers, DisabledPathDoesNotAllocate) {
+  // With null instruments the helpers are one branch — and in particular
+  // must not build strings or touch the heap. This is the run-time half
+  // of "zero-cost when disabled"; the compile-time half is kEnabled being
+  // constexpr (checked below).
+  Counter* c = nullptr;
+  Gauge* g = nullptr;
+  HistogramMetric* h = nullptr;
+  Registry* r = nullptr;
+  const std::uint64_t before = g_allocs;
+  for (int i = 0; i < 1000; ++i) {
+    add(c);
+    set(g, static_cast<double>(i));
+    observe(h, static_cast<double>(i));
+    span_end(r, SpanId{}, "ok");
+  }
+  EXPECT_EQ(g_allocs, before);
+  static_assert(kEnabled == (RDMAMON_TELEMETRY_ENABLED != 0),
+                "kEnabled must be a compile-time constant");
+}
+
+TEST(Export, PrometheusTextShape) {
+  Registry reg;
+  reg.counter("monitor.fetch.total",
+              Labels{{"scheme", "RDMA-Sync"}, {"backend", "b0"}})
+      .inc(42);
+  reg.gauge("lb.alive_backends").set(4);
+  reg.histogram("monitor.fetch.latency_ns").observe(1500.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("rdmamon_monitor_fetch_total"), std::string::npos);
+  EXPECT_NE(text.find("backend=\"b0\""), std::string::npos);
+  EXPECT_NE(text.find("scheme=\"RDMA-Sync\""), std::string::npos);
+  EXPECT_NE(text.find("rdmamon_lb_alive_backends 4"), std::string::npos);
+  EXPECT_NE(text.find("rdmamon_monitor_fetch_latency_ns_count"),
+            std::string::npos);
+  EXPECT_NE(text.find("rdmamon_monitor_fetch_latency_ns{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST(Export, JsonRoundTripsThroughDump) {
+  Registry reg;
+  reg.counter("a.total").inc(7);
+  const util::JsonValue doc = to_json(reg.snapshot());
+  const std::string text = doc.dump(0);
+  EXPECT_NE(text.find("\"a.total\""), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\""), std::string::npos);
+}
+
+TEST(Export, DashboardPrintsGroupedMetricsAndSpans) {
+  Registry reg;
+  reg.counter("net.verbs.posts", Labels{{"node", "fe"}}).inc(3);
+  const SpanId s = reg.spans().begin("monitor", "fetch");
+  reg.spans().end(s, "ok");
+  std::ostringstream os;
+  print_dashboard(os, reg.snapshot(), &reg.spans());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("net.verbs.posts"), std::string::npos);
+  EXPECT_NE(out.find("monitor/fetch"), std::string::npos);
+}
+
+// --- end-to-end: an instrumented run produces the expected metrics ----------
+
+TEST(Integration, MonitorRunPopulatesRegistry) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
+  sim::Simulation simu;
+  Registry reg;
+  reg.install(simu);
+  net::Fabric fabric(simu, {});
+  os::Node fe(simu, {.name = "fe"}), be(simu, {.name = "be"});
+  fabric.attach(fe);
+  fabric.attach(be);
+  monitor::MonitorConfig mcfg;
+  mcfg.scheme = monitor::Scheme::RdmaSync;
+  monitor::MonitorChannel chan(fabric, fe, be, mcfg);
+  int okay = 0;
+  fe.spawn("mon", [&](os::SimThread& self) -> os::Program {
+    for (int i = 0; i < 20; ++i) {
+      monitor::MonitorSample s;
+      co_await chan.frontend().fetch(self, s);
+      if (s.ok) ++okay;
+      co_await os::SleepFor{sim::msec(10)};
+    }
+  });
+  simu.run_for(sim::seconds(1));
+  ASSERT_GT(okay, 0);
+
+  const Snapshot snap = reg.snapshot();
+  const SnapshotEntry* ok_ctr =
+      snap.find("monitor.fetch.outcome", "backend=be,result=ok,scheme=RDMA-Sync");
+  ASSERT_NE(ok_ctr, nullptr);
+  EXPECT_DOUBLE_EQ(ok_ctr->value, static_cast<double>(okay));
+  const SnapshotEntry* lat =
+      snap.find("monitor.fetch.latency_ns", "backend=be,scheme=RDMA-Sync");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->hist.count, static_cast<std::uint64_t>(okay));
+  EXPECT_GT(lat->hist.p50, 0.0);
+  // Verbs-layer instruments appeared too.
+  EXPECT_NE(snap.find("net.nic.rdma_posted", "node=fe"), nullptr);
+  // Fetch spans were recorded and closed.
+  EXPECT_GT(reg.spans().finished().size(), 0u);
+  EXPECT_EQ(reg.spans().open_count(), 0u);
+}
+
+TEST(Integration, IdenticalRunsYieldIdenticalExports) {
+  auto run_once = [] {
+    sim::Simulation simu;
+    Registry reg;
+    reg.install(simu);
+    net::Fabric fabric(simu, {});
+    os::Node fe(simu, {.name = "fe"}), be(simu, {.name = "be"});
+    fabric.attach(fe);
+    fabric.attach(be);
+    monitor::MonitorConfig mcfg;
+    mcfg.scheme = monitor::Scheme::SocketSync;
+    monitor::MonitorChannel chan(fabric, fe, be, mcfg);
+    fe.spawn("mon", [&](os::SimThread& self) -> os::Program {
+      for (int i = 0; i < 10; ++i) {
+        monitor::MonitorSample s;
+        co_await chan.frontend().fetch(self, s);
+        co_await os::SleepFor{sim::msec(5)};
+      }
+    });
+    simu.run_for(sim::msec(200));
+    return to_prometheus(reg.snapshot());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --- meta-monitoring: reading the monitor's own telemetry via RDMA ----------
+
+TEST(Meta, SelfMonitorServesSnapshotThroughOneSidedRead) {
+  sim::Simulation simu;
+  Registry reg;
+  reg.install(simu);
+  net::Fabric fabric(simu, {});
+  os::Node fe(simu, {.name = "frontend"}), reader(simu, {.name = "reader"});
+  fabric.attach(fe);
+  fabric.attach(reader);
+
+  reg.counter("monitor.fetch.retries").inc(5);  // something to observe
+  monitor::SelfMonitorConfig scfg;
+  scfg.period = sim::msec(10);
+  monitor::TelemetrySelfMonitor meta(fabric, fe, reg, scfg);
+
+  bool got = false;
+  Snapshot remote;
+  reader.spawn("meta-reader", [&](os::SimThread& self) -> os::Program {
+    co_await os::SleepFor{sim::msec(35)};  // a few publish periods
+    net::CompletionQueue cq;
+    net::QueuePair qp{fabric.nic(reader.id), meta.node_id(), cq};
+    net::Completion c;
+    co_await net::rdma_read_sync(self, qp, meta.mr_key(),
+                                 meta.config().slot_bytes, c);
+    if (c.status == net::WcStatus::Success) {
+      remote = std::any_cast<Snapshot>(c.data);
+      got = true;
+    }
+  });
+  simu.run_for(sim::msec(100));
+
+  EXPECT_GE(meta.published(), 3u);
+  ASSERT_TRUE(got);
+  const SnapshotEntry* e = remote.find("monitor.fetch.retries");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->value, 5.0);
+  // The publisher also counts its own refreshes through the registry.
+  EXPECT_NE(remote.find("meta.published"), nullptr);
+}
+
+TEST(Meta, StopFreezesPublishedSnapshot) {
+  sim::Simulation simu;
+  Registry reg;
+  reg.install(simu);
+  net::Fabric fabric(simu, {});
+  os::Node fe(simu, {.name = "frontend"});
+  fabric.attach(fe);
+  monitor::SelfMonitorConfig scfg;
+  scfg.period = sim::msec(10);
+  monitor::TelemetrySelfMonitor meta(fabric, fe, reg, scfg);
+  simu.run_for(sim::msec(45));
+  const std::uint64_t before = meta.published();
+  EXPECT_GE(before, 3u);
+  meta.stop();
+  simu.run_for(sim::msec(50));
+  EXPECT_EQ(meta.published(), before);  // frozen-host regime: region keeps
+                                        // serving its last contents
+}
+
+}  // namespace
+}  // namespace rdmamon::telemetry
