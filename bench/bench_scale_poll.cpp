@@ -5,6 +5,7 @@
 // in-flight request per connection), so the RDMA round time is roughly
 // flat in N while the sequential sweep grows linearly — and with it the
 // age of the oldest sample a dispatch decision is based on.
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,11 @@ int main(int argc, char** argv) {
   const auto opt = rdmamon::bench::parse_args(argc, argv);
   const std::vector<int> ns =
       opt.quick ? std::vector<int>{4, 8, 16} : std::vector<int>{4, 8, 16, 32, 64};
+  // One-sided schemes scale far enough that the interesting sizes are an
+  // order of magnitude past the socket sweep; only the RDMA rows pay for
+  // them (full mode — the sizes the timer-wheel kernel was built for).
+  const std::vector<int> rdma_extra_ns =
+      opt.quick ? std::vector<int>{} : std::vector<int>{128, 256};
   const int rounds = opt.quick ? 10 : 30;
 
   rdmamon::bench::banner(
@@ -104,12 +110,24 @@ int main(int argc, char** argv) {
     rdmamon::util::Table table;
     std::vector<std::string> header = {"scheme"};
     for (int n : ns) header.push_back("N=" + std::to_string(n));
+    for (int n : rdma_extra_ns) header.push_back("N=" + std::to_string(n));
     table.set_header(header);
     table.set_align(0, rdmamon::util::Align::Left);
     for (const Scheme scheme : rdmamon::monitor::kTransportSchemes) {
+      const bool rdma = scheme == Scheme::RdmaAsync || scheme == Scheme::RdmaSync;
+      std::vector<int> scheme_ns = ns;
+      if (rdma) {
+        scheme_ns.insert(scheme_ns.end(), rdma_extra_ns.begin(),
+                         rdma_extra_ns.end());
+      }
       std::vector<std::string> row = {rdmamon::monitor::to_string(scheme)};
-      for (int n : ns) {
+      for (int n : scheme_ns) {
+        const auto wall0 = std::chrono::steady_clock::now();
         const RoundStats s = run_rounds(scheme, n, scatter_mode, rounds);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - wall0)
+                .count();
         row.push_back(rdmamon::bench::num(s.round_us.mean(), 1) + " / " +
                       rdmamon::bench::num(s.skew_us.mean(), 1));
         auto& r = report.add_result();
@@ -118,7 +136,11 @@ int main(int argc, char** argv) {
         r["n"] = n;
         r["round_mean_us"] = s.round_us.mean();
         r["skew_mean_us"] = s.skew_us.mean();
+        // Host-side cost of simulating this cell: the DES-kernel perf
+        // metric (simulated means above are kernel-independent).
+        r["wall_ms"] = wall_ms;
       }
+      while (row.size() < header.size()) row.push_back("-");
       table.add_row(row);
     }
     rdmamon::bench::show(table);

@@ -101,6 +101,10 @@ inline const char* to_string(PollMode m) {
 /// loaded. A poller thread on the front-end node refreshes the samples
 /// every `granularity` — through the configured scheme, so the data is
 /// exactly as fresh (or stale, or costly) as that scheme makes it.
+/// Every fetch in the round arms (and on success cancels) a deadline
+/// timer; those land on the event queue's near-future wheel, so the
+/// fine granularities the paper argues for (Fig 9) scale to hundreds of
+/// back ends without the simulator's timer plumbing becoming the cost.
 class LoadBalancer {
  public:
   explicit LoadBalancer(WeightConfig weights) : weights_(weights) {}

@@ -272,7 +272,9 @@ os::Program FrontendMonitor::await_resolution(os::SimThread& self,
   // The deadline is a timer that spuriously wakes the completion waiter;
   // the re-peek then notices the expired clock (the documented wait-queue
   // discipline). A resolution already queued wins even past the deadline,
-  // matching recv_until / rdma_read_sync_until.
+  // matching recv_until / rdma_read_sync_until. This armed-then-cancelled
+  // guard is the kernel's hottest cancel pattern (bench_engine's
+  // schedule_cancel mix); the wheel unlinks it in O(1) with no tombstone.
   sim::EventHandle timer;
   if (simu.now() < op.deadline && peek(op) == OpStatus::Pending) {
     timer = simu.at(op.deadline, [&wq] { wq.notify_all(); });

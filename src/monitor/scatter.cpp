@@ -174,7 +174,9 @@ os::Program ScatterFetcher::round(os::SimThread& self,
 
     // Park on the shared channel until something resolves, with a timer at
     // the earliest deadline/backoff expiry (spurious-wakeup discipline:
-    // the next loop iteration re-checks everything).
+    // the next loop iteration re-checks everything). The timer is re-armed
+    // and cancelled once per wave; both ends are O(1) on the near-future
+    // wheel, so wide rounds do not tax the event queue.
     sim::EventHandle timer;
     if (next_wake.ns != kNever.ns && simu.now() < next_wake) {
       timer = simu.at(next_wake, [this] { cq_.wait_queue().notify_all(); });

@@ -75,6 +75,8 @@ os::Program Socket::recv_until(os::SimThread& self, Message& out,
   sim::Simulation& simu = fabric_->simu();
   // The deadline is a timer that spuriously wakes this socket's waiters;
   // the standard predicate re-check then notices the expired clock.
+  // Cancelling an unexpired deadline is O(1) (eager wheel unlink), so
+  // every recv may arm one without a per-message allocation or sweep.
   sim::EventHandle timer;
   if (rx_.empty() && simu.now() < deadline) {
     timer = simu.at(deadline, [this] { rx_wq_.notify_all(); });

@@ -104,7 +104,10 @@ os::Program rdma_read_sync_until(os::SimThread& self, QueuePair& qp,
   sim::Simulation& simu = self.node().simu();
   // The deadline is modelled as a timer that spuriously wakes the CQ
   // waiter; the waiter re-checks the clock (the documented wait-queue
-  // discipline), so no scheduler surgery is needed.
+  // discipline), so no scheduler surgery is needed. On the common path
+  // the READ completes first and the cancel below unlinks the
+  // wheel-resident timer in O(1), recycling its pool slot — arming a
+  // guard per post costs no allocation and leaves no tombstone behind.
   sim::EventHandle timer;
   if (simu.now() < deadline) {
     timer = simu.at(deadline, [&cq] { cq.wait_queue().notify_all(); });

@@ -89,6 +89,10 @@ class Scheduler {
     IrqBody body;
   };
 
+  // Per-CPU timer handles below (seg_ev/quantum_ev/irq_ev) are re-armed
+  // on every segment/quantum/IRQ and cancelled on preemption — all O(1)
+  // and allocation-free on the event queue's near-future wheel, so the
+  // scheduler's churn sets the kernel's steady-state hot path.
   struct Cpu {
     CpuId id = 0;
     SimThread* current = nullptr;

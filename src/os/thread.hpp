@@ -81,7 +81,8 @@ class SimThread {
   /// Wait queue this thread is blocked on (for targeted removal).
   WaitQueue* waiting_on = nullptr;
 
-  /// Pending sleep wakeup (cancellable if the thread is killed).
+  /// Pending sleep wakeup (cancellable in O(1) if the thread is killed;
+  /// the handle goes inert on its own once the wakeup fires).
   sim::EventHandle sleep_event;
 
   /// Set when the thread became Ready; measures run-queue wait.

@@ -106,6 +106,20 @@ void ScopedCollector::release() {
 }
 
 Snapshot Registry::snapshot() {
+  if (simu_ != nullptr) {
+    // DES-kernel self-monitoring: published here, not on the event hot
+    // path, so instrumenting the queue costs nothing per event.
+    // sim_events_tombstoned tracks cancelled events still occupying pool
+    // slots ahead of the lazy sweep — the price of O(1) cancellation.
+    gauge("sim_events_executed").set(
+        static_cast<double>(simu_->events_executed()));
+    gauge("sim_events_pending").set(
+        static_cast<double>(simu_->events_pending()));
+    gauge("sim_events_cancelled").set(
+        static_cast<double>(simu_->events_cancelled()));
+    gauge("sim_events_tombstoned").set(
+        static_cast<double>(simu_->events_tombstoned()));
+  }
   for (const auto& [id, fn] : collectors_) fn(*this);
   Snapshot snap;
   snap.at = now();

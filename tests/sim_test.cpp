@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -193,6 +194,48 @@ TEST(Zipf, PmfMatchesEmpiricalFrequencies) {
 TEST(Zipf, HigherAlphaConcentratesMass) {
   ZipfDistribution lo(1000, 0.25), hi(1000, 0.9);
   EXPECT_GT(hi.pmf(1), lo.pmf(1));
+}
+
+TEST(Zipf, GuideTableSampleMatchesFirstCdfEntryContract) {
+  // The default backend must return exactly the rank the original binary
+  // search would: the first cdf entry >= u. Replay the uniform stream and
+  // check every sample against std::lower_bound on the exposed CDF —
+  // this is what keeps fig7 (and every ZipfTrace consumer) bit-identical.
+  for (double alpha : {0.25, 0.8, 0.9}) {
+    const ZipfDistribution z(1'000, alpha);
+    Rng draws(91), replay(91);
+    for (int i = 0; i < 50'000; ++i) {
+      const double u = replay.uniform();
+      const std::size_t want = static_cast<std::size_t>(
+          std::lower_bound(z.cdf().begin(), z.cdf().end(), u) -
+          z.cdf().begin()) + 1;
+      ASSERT_EQ(z.sample(draws), want) << "alpha " << alpha << " u " << u;
+    }
+  }
+}
+
+TEST(Zipf, AliasMethodMatchesPmfStatistically) {
+  // Walker alias draws a different stream, so it is pinned statistically:
+  // empirical frequencies must track the exact pmf across the whole
+  // support, head and tail alike.
+  const std::size_t n = 200;
+  ZipfDistribution z(n, 0.8, ZipfDistribution::Method::kAlias);
+  EXPECT_EQ(z.method(), ZipfDistribution::Method::kAlias);
+  Rng r(23);
+  std::vector<int> counts(n + 1, 0);
+  const int samples = 500'000;
+  for (int i = 0; i < samples; ++i) {
+    const std::size_t rank = z.sample(r);
+    ASSERT_GE(rank, 1u);
+    ASSERT_LE(rank, n);
+    ++counts[rank];
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double expect = z.pmf(i) * samples;
+    // ~5-sigma binomial envelope plus a small absolute floor.
+    const double tol = 5.0 * std::sqrt(expect) + 3.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]), expect, tol) << "rank " << i;
+  }
 }
 
 TEST(Stats, OnlineMeanVarianceMinMax) {

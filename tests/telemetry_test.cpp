@@ -106,6 +106,35 @@ TEST(Registry, CollectorsRunAtSnapshotStart) {
   EXPECT_DOUBLE_EQ(s3.find("comp.level")->value, 43.0);  // stale, not re-run
 }
 
+TEST(Registry, SnapshotExportsKernelSelfMonitoringGauges) {
+  sim::Simulation simu;
+  Registry reg;
+  reg.install(simu);
+  int fired = 0;
+  simu.after(sim::Duration{1'000}, [&] { ++fired; });
+  simu.after(sim::Duration{2'000}, [&] { ++fired; });
+  // Two far-future timeouts cancelled before firing: heap-resident, so
+  // they tombstone until the lazy sweep and must show up in the gauge.
+  sim::EventHandle t1 = simu.after(sim::Duration{30'000'000'000ll}, [] {});
+  sim::EventHandle t2 = simu.after(sim::Duration{40'000'000'000ll}, [] {});
+  t1.cancel();
+  t2.cancel();
+  const Snapshot before = reg.snapshot();
+  ASSERT_NE(before.find("sim_events_tombstoned"), nullptr);
+  EXPECT_DOUBLE_EQ(before.find("sim_events_tombstoned")->value, 2.0);
+  EXPECT_DOUBLE_EQ(before.find("sim_events_pending")->value, 2.0);
+
+  simu.run_until(sim::TimePoint{5'000});
+  EXPECT_EQ(fired, 2);
+  // The final pop left no live event, which reaps every tombstone.
+  const Snapshot after = reg.snapshot();
+  ASSERT_NE(after.find("sim_events_executed"), nullptr);
+  EXPECT_DOUBLE_EQ(after.find("sim_events_executed")->value, 2.0);
+  EXPECT_DOUBLE_EQ(after.find("sim_events_pending")->value, 0.0);
+  EXPECT_DOUBLE_EQ(after.find("sim_events_cancelled")->value, 2.0);
+  EXPECT_DOUBLE_EQ(after.find("sim_events_tombstoned")->value, 0.0);
+}
+
 TEST(Registry, ScopedCollectorSurvivesEitherDestructionOrder) {
   if constexpr (!kEnabled) GTEST_SKIP() << "telemetry compiled out";
   // Collector outlives registry: release() must not touch the dead
