@@ -1,0 +1,171 @@
+// Front-end scale-out: M cooperating front ends over one set of N back
+// ends, polling partitioned by the consistent-hash ring and shard views
+// exchanged through one-sided gossip READs. The claim under test: the
+// monitoring work each BACK END sees is constant in M (each is polled by
+// exactly one owner per round — scaling the control plane out does not
+// multiply the probe load), the per-front-end share drops ~1/M, and the
+// price of everyone-still-sees-everything is a few kilobyte-sized READs
+// per gossip period whose staleness stays bounded.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "args.hpp"
+#include "cluster/scaleout.hpp"
+#include "common.hpp"
+#include "monitor/monitor.hpp"
+#include "net/fabric.hpp"
+#include "os/node.hpp"
+#include "report.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace rdmamon;
+
+struct Cell {
+  double polls_per_backend_sec;  ///< successful owner polls per back end
+  double gossip_reads_sec;       ///< total peer-view READs issued
+  double mean_view_age_us;       ///< mean over FEs of max peer-view age
+  double mean_fetch_us;          ///< mean monitoring fetch latency
+  int min_shard;                 ///< ring spread across the M owners
+  int max_shard;
+  std::uint64_t stale_marks;     ///< staleness strikes (0 in healthy runs)
+};
+
+Cell run_cell(int frontends, int backends, sim::Duration run) {
+  sim::Simulation simu;
+  net::Fabric fabric(simu, {});
+
+  // Front ends attach first (fabric ids 0..M-1), matching the testbed.
+  std::vector<std::unique_ptr<os::Node>> fe_nodes;
+  for (int m = 0; m < frontends; ++m) {
+    fe_nodes.push_back(std::make_unique<os::Node>(
+        simu, os::NodeConfig{.name = "frontend" + std::to_string(m)}));
+    fabric.attach(*fe_nodes.back());
+  }
+  std::vector<std::unique_ptr<os::Node>> be_nodes;
+  for (int b = 0; b < backends; ++b) {
+    be_nodes.push_back(std::make_unique<os::Node>(
+        simu, os::NodeConfig{.name = "backend" + std::to_string(b)}));
+    fabric.attach(*be_nodes.back());
+  }
+
+  monitor::MonitorConfig mcfg;
+  mcfg.scheme = monitor::Scheme::RdmaSync;
+  mcfg.period = sim::msec(10);
+  cluster::ScaleOutConfig scfg;  // 25 ms gossip, 200 ms staleness bound
+  cluster::ScaleOutPlane plane(fabric, scfg, mcfg);
+  for (auto& fe : fe_nodes) plane.add_frontend(*fe, {});
+  for (auto& be : be_nodes) plane.add_backend(*be);
+  plane.start(sim::msec(10));
+
+  simu.run_for(run);
+
+  Cell cell{};
+  std::uint64_t total_polls = 0, total_reads = 0;
+  double age_sum = 0.0, fetch_sum = 0.0;
+  int fetch_cells = 0;
+  cell.min_shard = backends;
+  cell.max_shard = 0;
+  for (int m = 0; m < frontends; ++m) {
+    cluster::FrontendPlane& fp = plane.frontend(m);
+    for (std::uint64_t p : fp.poll_counts()) total_polls += p;
+    total_reads += fp.gossip_reads_ok() + fp.gossip_reads_failed();
+    age_sum += static_cast<double>(fp.max_peer_view_age().ns) / 1e3;
+    if (fp.balancer().fetch_latency_ns().count() > 0) {
+      fetch_sum += fp.balancer().fetch_latency_ns().mean() / 1e3;
+      ++fetch_cells;
+    }
+    cell.stale_marks += fp.stale_marks();
+    const int owned = fp.owned_count();
+    cell.min_shard = std::min(cell.min_shard, owned);
+    cell.max_shard = std::max(cell.max_shard, owned);
+  }
+  const double secs = static_cast<double>(run.ns) / 1e9;
+  cell.polls_per_backend_sec =
+      static_cast<double>(total_polls) / backends / secs;
+  cell.gossip_reads_sec = static_cast<double>(total_reads) / secs;
+  cell.mean_view_age_us = frontends > 1 ? age_sum / frontends : 0.0;
+  cell.mean_fetch_us = fetch_cells > 0 ? fetch_sum / fetch_cells : 0.0;
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = rdmamon::bench::parse_args(argc, argv);
+  using rdmamon::bench::num;
+  const std::vector<int> ms = {1, 2, 4, 8};
+  const std::vector<int> ns =
+      opt.quick ? std::vector<int>{16} : std::vector<int>{16, 64, 256};
+  const sim::Duration run = opt.quick ? sim::seconds(2) : sim::seconds(5);
+
+  rdmamon::bench::banner(
+      "scale-frontends",
+      "Cooperative polling: M front ends sharing one N-back-end cluster",
+      "per-backend probe load stays flat as M grows (ownership partitions "
+      "the rounds); gossip READ traffic is the only cost of scale-out");
+
+  rdmamon::bench::JsonReport report("scale_frontends");
+  report.set("quick", opt.quick);
+  report.set("run_seconds", static_cast<double>(run.ns) / 1e9);
+
+  double rate_m1_largest = 0.0, rate_m8_largest = 0.0;
+  for (int n : ns) {
+    std::cout << "\n--- N=" << n
+              << " back ends: polls/backend/s | gossip READs/s | mean max "
+                 "peer-view age (us) | shard spread ---\n";
+    rdmamon::util::Table table;
+    table.set_header({"frontends", "polls/be/s", "gossip rd/s",
+                      "view age us", "shards", "stale"});
+    table.set_align(0, rdmamon::util::Align::Left);
+    for (int m : ms) {
+      const auto wall0 = std::chrono::steady_clock::now();
+      const Cell c = run_cell(m, n, run);
+      const double wall_ms = std::chrono::duration<double, std::milli>(
+                                 std::chrono::steady_clock::now() - wall0)
+                                 .count();
+      table.add_row({"M=" + std::to_string(m),
+                     num(c.polls_per_backend_sec, 1),
+                     num(c.gossip_reads_sec, 1), num(c.mean_view_age_us, 1),
+                     std::to_string(c.min_shard) + ".." +
+                         std::to_string(c.max_shard),
+                     std::to_string(c.stale_marks)});
+      auto& r = report.add_result();
+      r["frontends"] = m;
+      r["backends"] = n;
+      r["polls_per_backend_sec"] = c.polls_per_backend_sec;
+      r["gossip_reads_sec"] = c.gossip_reads_sec;
+      r["mean_view_age_us"] = c.mean_view_age_us;
+      r["mean_fetch_us"] = c.mean_fetch_us;
+      r["min_shard"] = c.min_shard;
+      r["max_shard"] = c.max_shard;
+      r["stale_marks"] = static_cast<double>(c.stale_marks);
+      r["wall_ms"] = wall_ms;
+      if (n == ns.back() && m == 1) rate_m1_largest = c.polls_per_backend_sec;
+      if (n == ns.back() && m == 8) rate_m8_largest = c.polls_per_backend_sec;
+    }
+    rdmamon::bench::show(table);
+  }
+
+  // The acceptance headline: scaling front ends 1 -> 8 leaves the probe
+  // load each back end serves flat (the rounds are partitioned, never
+  // duplicated) — within 10% at the largest N.
+  const double ratio =
+      rate_m1_largest > 0.0 ? rate_m8_largest / rate_m1_largest : 0.0;
+  std::cout << "\nper-backend polls/s at N=" << ns.back()
+            << ": M=1 " << num(rate_m1_largest, 1) << " -> M=8 "
+            << num(rate_m8_largest, 1) << " (" << num(ratio, 3)
+            << "x; acceptance: 0.9..1.1)\n";
+  auto& headline = report.root()["headline"];
+  headline = rdmamon::util::JsonValue::object();
+  headline["n"] = ns.back();
+  headline["polls_per_backend_sec_m1"] = rate_m1_largest;
+  headline["polls_per_backend_sec_m8"] = rate_m8_largest;
+  headline["flatness_ratio"] = ratio;
+  report.write();
+  return 0;
+}

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Local CI entry point — the same steps .github/workflows/ci.yml runs, for
 # machines without a GitHub runner. Usage:
-#   ./ci.sh            # tier-1 verify (build + ctest)
-#   ./ci.sh sanitize   # ASan/UBSan build + ctest (slower)
-#   ./ci.sh bench      # smoke-run quick benches, validate BENCH_*.json
+#   ./ci.sh            # tier-1 verify (build + ctest, minus LABELS slow)
+#   ./ci.sh sanitize   # ASan/UBSan build + FULL ctest incl. slow (slower)
+#   ./ci.sh bench      # quick benches + BENCH_*.json checks + golden traces
 #   ./ci.sh perf       # Release build, DES-kernel perf smoke (bench_engine)
+#
+# Tests carrying ctest LABELS slow (golden-trace bench replays) are kept
+# out of tier-1 to hold its wall-clock; they run in the sanitize and
+# bench lanes.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -17,13 +21,26 @@ if [[ "${1:-}" == "sanitize" ]]; then
 elif [[ "${1:-}" == "bench" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target \
-    bench_fig3_latency bench_scale_poll bench_fault_resilience bench_engine
+    bench_fig3_latency bench_fig5_accuracy bench_scale_poll \
+    bench_fault_resilience bench_scale_frontends bench_engine
   mkdir -p bench-results
-  for b in fig3_latency scale_poll fault_resilience engine; do
+  for b in fig3_latency scale_poll fault_resilience scale_frontends engine; do
     RDMAMON_BENCH_DIR=bench-results ./build/bench/bench_$b --quick
     python3 -m json.tool "bench-results/BENCH_$b.json" > /dev/null
     echo "BENCH_$b.json: valid"
   done
+  # Scale-out acceptance: per-backend probe load flat (+-10%) as the
+  # front-end count grows 1 -> 8.
+  python3 - <<'EOF'
+import json
+doc = json.load(open("bench-results/BENCH_scale_frontends.json"))
+ratio = doc["headline"]["flatness_ratio"]
+print(f"scale-frontends flatness M=1->8: {ratio:.3f}x (acceptance 0.9..1.1)")
+assert 0.9 <= ratio <= 1.1, "per-backend probe load not flat in M"
+EOF
+  # Golden-trace replays (ctest LABELS slow): quick fig3/fig5 pinned
+  # against tests/golden/*.json.
+  ctest --test-dir build -L slow --output-on-failure -j "$jobs"
 elif [[ "${1:-}" == "perf" ]]; then
   # DES-kernel perf smoke: Release build, quick bench_engine run. The
   # binary itself exits non-zero if the timer-wheel kernel heap-allocates
@@ -45,5 +62,5 @@ EOF
 else
   cmake -B build -S .
   cmake --build build -j "$jobs"
-  ctest --test-dir build --output-on-failure -j "$jobs"
+  ctest --test-dir build --output-on-failure -j "$jobs" -LE slow
 fi

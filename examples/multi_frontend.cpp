@@ -1,0 +1,95 @@
+// Multi-front-end scale-out: three LoadBalancer front ends share one
+// twelve-back-end cluster. The consistent-hash ring partitions polling
+// (each back end has exactly ONE owner per round, so the probe load a
+// back end serves does not grow with the number of front ends), and
+// each owner publishes its shard's load view into a registered MR that
+// peers RDMA-READ — so every front end still sees all twelve back ends,
+// with bounded staleness, at the price of a few one-sided READs per
+// gossip period. Mid-run, front end 0 drains for maintenance and later
+// rejoins: watch ownership flow to the survivors and back.
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/scaleout.hpp"
+#include "sim/simulation.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+using namespace rdmamon;
+
+namespace {
+
+void print_state(cluster::ScaleOutPlane& plane, const char* label) {
+  const int m = plane.frontend_count();
+  const int n = plane.backend_count();
+  std::cout << label << ":\n";
+  util::Table t;
+  t.set_header({"front end", "member", "owns", "polls ok", "gossip READs",
+                "max peer-view age"});
+  t.set_align(0, util::Align::Left);
+  for (int i = 0; i < m; ++i) {
+    cluster::FrontendPlane& fe = plane.frontend(i);
+    std::uint64_t polls = 0;
+    for (std::uint64_t p : fe.poll_counts()) polls += p;
+    t.add_row({"frontend" + std::to_string(i),
+               plane.membership().is_member(i) ? "yes" : "no",
+               std::to_string(fe.owned_count()) + "/" + std::to_string(n),
+               std::to_string(polls), std::to_string(fe.gossip_reads_ok()),
+               util::format_double(
+                   static_cast<double>(fe.max_peer_view_age().ns) / 1e6, 1) +
+                   " ms"});
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation simu;
+  net::Fabric fabric(simu, {});
+
+  // Front ends attach first, then back ends (ids follow attach order).
+  std::vector<std::unique_ptr<os::Node>> fes, bes;
+  for (int i = 0; i < 3; ++i) {
+    fes.push_back(std::make_unique<os::Node>(
+        simu, os::NodeConfig{.name = "frontend" + std::to_string(i)}));
+    fabric.attach(*fes.back());
+  }
+  for (int i = 0; i < 12; ++i) {
+    bes.push_back(std::make_unique<os::Node>(
+        simu, os::NodeConfig{.name = "backend" + std::to_string(i)}));
+    fabric.attach(*bes.back());
+  }
+
+  monitor::MonitorConfig mcfg;
+  mcfg.scheme = monitor::Scheme::RdmaSync;  // daemon-less one-sided polls
+  mcfg.period = sim::msec(10);
+  cluster::ScaleOutConfig scfg;  // 25 ms gossip, 200 ms staleness bound
+  cluster::ScaleOutPlane plane(fabric, scfg, mcfg);
+  for (auto& fe : fes) plane.add_frontend(*fe, {});
+  for (auto& be : bes) plane.add_backend(*be);
+  plane.start(sim::msec(10));
+
+  simu.run_for(sim::seconds(1));
+  print_state(plane, "t=1s (steady state, 3 front ends)");
+
+  // Drain front end 0 for maintenance: its shard flows to the survivors
+  // before their next poll round; no back end goes unmonitored.
+  plane.frontend(0).leave("maintenance");
+  simu.run_for(sim::seconds(1));
+  print_state(plane, "\nt=2s (frontend0 drained)");
+
+  plane.frontend(0).rejoin("maintenance done");
+  simu.run_for(sim::seconds(1));
+  print_state(plane, "\nt=3s (frontend0 back)");
+
+  std::cout << "\nmembership trace:\n";
+  for (const std::string& line : plane.membership().log())
+    std::cout << "  " << line << '\n';
+  std::cout << "Ownership is a partition at every instant: scaling the "
+               "control plane out never multiplies per-backend probe "
+               "traffic.\n";
+  return 0;
+}

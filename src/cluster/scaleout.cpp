@@ -1,0 +1,318 @@
+#include "cluster/scaleout.hpp"
+
+#include <algorithm>
+#include <any>
+#include <cassert>
+
+namespace rdmamon::cluster {
+
+FrontendPlane::FrontendPlane(ScaleOutPlane& plane, os::Node& node, int id,
+                             lb::WeightConfig weights)
+    : plane_(&plane), node_(&node), id_(id), lb_(weights) {}
+
+void FrontendPlane::leave(const std::string& reason) {
+  wants_membership_ = false;
+  plane_->membership().leave(id_, reason);
+}
+
+void FrontendPlane::rejoin(const std::string& reason) {
+  wants_membership_ = true;
+  plane_->membership().join(id_, reason);
+}
+
+void FrontendPlane::stall() {
+  if (lb_.poller_thread() != nullptr) node_->sched().kill(lb_.poller_thread());
+  if (gossip_thread_ != nullptr) node_->sched().kill(gossip_thread_);
+}
+
+int FrontendPlane::owned_count() const {
+  int n = 0;
+  for (int b = 0; b < plane_->backend_count(); ++b) {
+    if (plane_->membership().owner_of(b) == id_) ++n;
+  }
+  return n;
+}
+
+sim::Duration FrontendPlane::max_peer_view_age() const {
+  const sim::TimePoint now = node_->simu().now();
+  sim::Duration worst{0};
+  for (int b = 0; b < plane_->backend_count(); ++b) {
+    if (plane_->membership().owner_of(b) == id_) continue;
+    const sim::Duration age = now - last_seen_[static_cast<std::size_t>(b)];
+    if (age.ns > worst.ns) worst = age;
+  }
+  return worst;
+}
+
+void FrontendPlane::wire(sim::Duration granularity) {
+  const int n = plane_->backend_count();
+  const sim::TimePoint now = node_->simu().now();
+  view_.frontend = id_;
+  view_.entries.resize(static_cast<std::size_t>(n));
+  polls_.assign(static_cast<std::size_t>(n), 0);
+  last_seen_.assign(static_cast<std::size_t>(n), now);
+  last_strike_.assign(static_cast<std::size_t>(n), now);
+  owned_by_.assign(static_cast<std::size_t>(n), -1);
+  last_round_end_ = now;
+  last_local_ok_ = now;
+
+  // One channel per back end against the SHARED BackendMonitor: the
+  // back end runs one daemon set however many front ends watch it.
+  for (int b = 0; b < n; ++b) {
+    lb_.add_backend(std::make_unique<monitor::MonitorChannel>(
+        plane_->fabric(), *node_, plane_->backend_monitor(b)));
+  }
+  lb_.set_telemetry_instance(node_->name());
+  lb_.set_poll_filter([this](std::size_t b) {
+    return plane_->membership().owner_of(static_cast<int>(b)) == id_;
+  });
+  lb_.on_round(
+      [this](const std::vector<std::size_t>& targets) { on_round(targets); });
+
+  // The published view: a registered region whose reader callback
+  // samples view_ at the DMA service instant — TelemetrySelfMonitor's
+  // publish pattern with the shard view as payload. No publisher thread
+  // is needed because on_round() refreshes view_ in place; a host whose
+  // poller stalls stops refreshing while its NIC keeps serving, which
+  // is exactly the stale-view signal peers key on.
+  view_mr_ = plane_->fabric().nic(node_->id).register_mr(
+      plane_->config().view_bytes, [this] { return std::any(view_); });
+
+  // One QP per peer front end, completing into our own gossip CQ.
+  peer_qps_.resize(static_cast<std::size_t>(plane_->frontend_count()));
+  peer_fail_.assign(static_cast<std::size_t>(plane_->frontend_count()), 0);
+  for (int p = 0; p < plane_->frontend_count(); ++p) {
+    if (p == id_) continue;
+    peer_qps_[static_cast<std::size_t>(p)] = std::make_unique<net::QueuePair>(
+        plane_->fabric().nic(node_->id), plane_->frontend(p).node().id,
+        gossip_cq_);
+  }
+
+  // Baseline ownership snapshot (membership was bootstrapped already).
+  for (int b = 0; b < n; ++b) {
+    owned_by_[static_cast<std::size_t>(b)] = plane_->membership().owner_of(b);
+  }
+  view_.membership_epoch = plane_->membership().epoch();
+
+  reg_ = telemetry::Registry::of(node_->simu());
+  if (reg_ != nullptr) {
+    const telemetry::Labels by_fe{{"frontend", node_->name()}};
+    auto read_counter = [&](const char* result) -> telemetry::Counter& {
+      telemetry::Labels l = by_fe;
+      l.add("result", result);
+      return reg_->counter("cluster.gossip.reads", l);
+    };
+    m_gossip_ok_ = &read_counter("ok");
+    m_gossip_fail_ = &read_counter("failed");
+    m_stale_ = &reg_->counter("cluster.stale_marks", by_fe);
+    m_evict_ = &reg_->counter("cluster.evictions", by_fe);
+    collector_.bind(node_->simu(), [this](telemetry::Registry& reg) {
+      const telemetry::Labels l{{"frontend", node_->name()}};
+      reg.gauge("cluster.ring.owned", l)
+          .set(static_cast<double>(owned_count()));
+      reg.gauge("cluster.peer_view.age_ns", l)
+          .set(static_cast<double>(max_peer_view_age().ns));
+      reg.gauge("cluster.membership.epoch", l)
+          .set(static_cast<double>(plane_->membership().epoch()));
+    });
+  }
+
+  lb_.start(*node_, granularity);
+  gossip_thread_ = node_->spawn(
+      "gossip", [this](os::SimThread& t) { return gossip_body(t); });
+}
+
+void FrontendPlane::on_round(const std::vector<std::size_t>& targets) {
+  const sim::TimePoint now = node_->simu().now();
+  for (std::size_t i : targets) {
+    ++polls_[i];
+    ViewEntry& e = view_.entries[i];
+    e.sample = lb_.last_sample(static_cast<int>(i));
+    e.health = lb_.health_of(static_cast<int>(i));
+    e.sampled_at = now;
+    e.valid = true;
+    last_seen_[i] = now;
+    last_strike_[i] = now;
+    // A sample retrieved since the previous round ended is proof this
+    // round reached its back end — the connectivity signal the
+    // self-isolation guard keys on.
+    if (e.sample.ok && e.sample.retrieved_at > last_round_end_) {
+      last_local_ok_ = now;
+    }
+  }
+  last_round_end_ = now;
+  view_.round += 1;
+  view_.published_at = now;
+  view_.membership_epoch = plane_->membership().epoch();
+}
+
+void FrontendPlane::on_membership_change() {
+  for (int b = 0; b < plane_->backend_count(); ++b) {
+    const std::size_t i = static_cast<std::size_t>(b);
+    const int owner = plane_->membership().owner_of(b);
+    if (owner == id_ && owned_by_[i] != id_) {
+      // Shard takeover: start with a clean failure detector so the
+      // dead-probe cadence cannot throttle the first takeover polls,
+      // and restart the staleness clock (we are about to poll it).
+      lb_.reset_health(i);
+      last_strike_[i] = node_->simu().now();
+      ++takeovers_;
+    }
+    if (owner != id_ && owned_by_[i] == id_) {
+      view_.entries[i].valid = false;  // stop vouching for a lost shard
+    }
+    owned_by_[i] = owner;
+  }
+  view_.membership_epoch = plane_->membership().epoch();
+}
+
+bool FrontendPlane::may_evict() const {
+  // Evicting a peer is trustworthy only while our own shard polls are
+  // landing: if nothing is reachable, WE are the isolated one. The
+  // evidence must be fresher than the gossip detection window
+  // ((peer_dead_after - 1) periods): a front end whose own network just
+  // died must lose eviction rights BEFORE its failure streak against an
+  // innocent peer can mature, else two partitioned front ends at M=2
+  // evict each other (split-brain). An empty shard (possible but
+  // vanishingly rare with 64 vnodes) has no local signal, so it is
+  // allowed to report — someone must, and a partitioned empty-shard
+  // front end can do no harm to polling anyway.
+  if (owned_count() == 0) return true;
+  const ScaleOutConfig& cfg = plane_->config();
+  const std::int64_t guard =
+      std::min((cfg.peer_dead_after - 1) * cfg.gossip_period.ns,
+               cfg.staleness_bound.ns);
+  const sim::Duration since = node_->simu().now() - last_local_ok_;
+  return since.ns < guard;
+}
+
+void FrontendPlane::process_view(const ShardView& v) {
+  reconfig::FrontendMembership& mem = plane_->membership();
+  for (std::size_t i = 0; i < v.entries.size() && i < last_seen_.size();
+       ++i) {
+    const ViewEntry& e = v.entries[i];
+    if (!e.valid) continue;
+    if (mem.owner_of(static_cast<int>(i)) == id_) continue;  // ours: local wins
+    if (e.sampled_at.ns <= last_seen_[i].ns) continue;  // already ingested
+    last_seen_[i] = e.sampled_at;
+    last_strike_[i] = e.sampled_at;
+    if (e.health == lb::BackendHealth::Healthy && e.sample.ok) {
+      lb_.ingest_peer_sample(i, e.sample);
+    } else {
+      // The owner observed failures; mirror one strike per fresh view so
+      // our detector converges toward the owner's verdict.
+      lb_.note_stale(i);
+    }
+  }
+}
+
+os::Program FrontendPlane::gossip_body(os::SimThread& self) {
+  const ScaleOutConfig& cfg = plane_->config();
+  sim::Simulation& simu = node_->simu();
+  for (;;) {
+    co_await os::SleepFor{cfg.gossip_period};
+    reconfig::FrontendMembership& mem = plane_->membership();
+    // Snapshot: eviction below mutates the member list mid-loop.
+    const std::vector<int> members = mem.ring().members();
+    for (int peer : members) {
+      if (peer == id_ || !mem.is_member(peer)) continue;
+      FrontendPlane& fp = plane_->frontend(peer);
+      net::QueuePair& qp = *peer_qps_[static_cast<std::size_t>(peer)];
+      net::Completion c;
+      bool completed = false;
+      co_await net::rdma_read_sync_until(
+          self, qp, fp.view_mr_key(), cfg.view_bytes,
+          gossip_cq_.alloc_wr_id(), simu.now() + cfg.read_timeout, c,
+          completed);
+      const bool read_ok =
+          completed && c.status == net::WcStatus::Success;
+      bool fresh = false;
+      if (read_ok) {
+        const auto v = std::any_cast<ShardView>(c.data);
+        ++gossip_ok_;
+        telemetry::add(m_gossip_ok_);
+        process_view(v);
+        // A crashed host fails the READ outright; a host whose poller
+        // stalled keeps DMA-serving a view whose published_at no
+        // longer advances.
+        fresh = (simu.now() - v.published_at).ns <= cfg.staleness_bound.ns;
+        if (wants_membership_ && !mem.is_member(id_)) {
+          // We were evicted (crash, freeze, or partition) but can read
+          // members again: rejoin and take our shard back.
+          ++rejoins_;
+          mem.join(id_, "recovered");
+          telemetry::span_event(reg_, "cluster", "membership",
+                                node_->name() + ": rejoined");
+        }
+      } else {
+        ++gossip_fail_;
+        telemetry::add(m_gossip_fail_);
+      }
+      std::size_t pi = static_cast<std::size_t>(peer);
+      peer_fail_[pi] = fresh ? 0 : peer_fail_[pi] + 1;
+      if (peer_fail_[pi] >= cfg.peer_dead_after && may_evict() &&
+          mem.is_member(id_)) {
+        peer_fail_[pi] = 0;
+        ++evictions_;
+        telemetry::add(m_evict_);
+        telemetry::span_event(
+            reg_, "cluster", "membership",
+            node_->name() + ": evicting " + fp.node().name() +
+                (read_ok ? " (stale view)" : " (unreachable)"));
+        mem.leave(peer, read_ok ? "stale view" : "unreachable");
+      }
+    }
+    // Staleness sweep over foreign shards: a back end nobody has shown
+    // us recently takes one strike per bound elapsed — the "no back end
+    // unmonitored past the bound" guarantee's enforcement point.
+    const sim::TimePoint now = simu.now();
+    for (std::size_t i = 0; i < last_seen_.size(); ++i) {
+      if (mem.owner_of(static_cast<int>(i)) == id_) continue;
+      const sim::TimePoint basis =
+          last_strike_[i].ns > last_seen_[i].ns ? last_strike_[i]
+                                                : last_seen_[i];
+      if ((now - basis).ns > cfg.staleness_bound.ns) {
+        last_strike_[i] = now;
+        ++stale_marks_;
+        telemetry::add(m_stale_);
+        lb_.note_stale(i);
+      }
+    }
+  }
+}
+
+ScaleOutPlane::ScaleOutPlane(net::Fabric& fabric, ScaleOutConfig cfg,
+                             monitor::MonitorConfig mcfg)
+    : fabric_(&fabric), cfg_(cfg), mcfg_(mcfg), membership_(cfg.ring) {}
+
+ScaleOutPlane::~ScaleOutPlane() = default;
+
+int ScaleOutPlane::add_backend(os::Node& node) {
+  assert(!started_ && "add_backend before start()");
+  backend_monitors_.push_back(
+      std::make_unique<monitor::BackendMonitor>(*fabric_, node, mcfg_));
+  return static_cast<int>(backend_monitors_.size()) - 1;
+}
+
+FrontendPlane& ScaleOutPlane::add_frontend(os::Node& node,
+                                           lb::WeightConfig weights) {
+  assert(!started_ && "add_frontend before start()");
+  const int id = static_cast<int>(frontends_.size());
+  frontends_.push_back(
+      std::make_unique<FrontendPlane>(*this, node, id, weights));
+  return *frontends_.back();
+}
+
+void ScaleOutPlane::start(sim::Duration granularity) {
+  assert(!started_ && "start() is one-shot");
+  started_ = true;
+  // Bootstrap joins happen before the change subscription: initial
+  // membership is setup, not churn.
+  for (auto& fp : frontends_) membership_.join(fp->id(), "bootstrap");
+  membership_.on_change([this] {
+    for (auto& fp : frontends_) fp->on_membership_change();
+  });
+  for (auto& fp : frontends_) fp->wire(granularity);
+}
+
+}  // namespace rdmamon::cluster

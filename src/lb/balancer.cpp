@@ -82,11 +82,40 @@ void LoadBalancer::record_fetch(std::size_t i, bool ok) {
 }
 
 void LoadBalancer::apply_sample(std::size_t i,
-                                const monitor::MonitorSample& s) {
+                                const monitor::MonitorSample& s,
+                                bool local) {
   record_fetch(i, s.ok);
   if (s.ok) {
     samples_[i] = s;
-    fetch_lat_.add(static_cast<double>(s.latency().ns));
+    // The fetch-latency statistic measures THIS front end's monitoring
+    // path; a gossiped sample rode a peer's fetch plus a view READ, so
+    // folding its latency in would pollute the metric.
+    if (local) fetch_lat_.add(static_cast<double>(s.latency().ns));
+  }
+}
+
+void LoadBalancer::ingest_peer_sample(std::size_t i,
+                                      const monitor::MonitorSample& s) {
+  apply_sample(i, s, /*local=*/false);
+}
+
+void LoadBalancer::note_stale(std::size_t i) { record_fetch(i, false); }
+
+void LoadBalancer::reset_health(std::size_t i) {
+  Health& h = health_[i];
+  const BackendHealth before = h.state;
+  h = Health{};
+  if (before != BackendHealth::Healthy) {
+    if (reg_ != nullptr) {
+      telemetry::add(m_to_healthy_);
+      telemetry::span_event(reg_, "lb", "health",
+                            channels_[i]->backend().node().name() +
+                                ": reset " + to_string(before) +
+                                " -> healthy (shard takeover)");
+    }
+    for (const auto& cb : health_cbs_) {
+      cb(static_cast<int>(i), BackendHealth::Healthy);
+    }
   }
 }
 
@@ -98,6 +127,7 @@ std::vector<std::size_t> LoadBalancer::poll_targets(
   std::vector<std::size_t> targets;
   targets.reserve(channels_.size());
   for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (poll_filter_ && !poll_filter_(i)) continue;  // not our shard
     if (probe_dead || health_[i].state != BackendHealth::Dead) {
       targets.push_back(i);
     }
@@ -112,31 +142,39 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
   for (auto& ch : channels_) scatter_.add(ch->frontend());
   reg_ = telemetry::Registry::of(frontend.simu());
   if (reg_ != nullptr) {
+    // When several balancers share one registry (scale-out plane), each
+    // labels its instruments with its front-end name; the single-balancer
+    // default keeps the historical unlabelled series byte-identical.
+    auto labelled = [this](telemetry::Labels base) {
+      if (!telemetry_instance_.empty()) {
+        base.add("frontend", telemetry_instance_);
+      }
+      return base;
+    };
     m_pick_.resize(channels_.size(), nullptr);
     for (std::size_t i = 0; i < channels_.size(); ++i) {
       m_pick_[i] = &reg_->counter(
           "lb.pick",
-          telemetry::Labels{
-              {"backend", channels_[i]->backend().node().name()}});
+          labelled({{"backend", channels_[i]->backend().node().name()}}));
     }
-    m_pick_weight_ = &reg_->histogram("lb.pick.weight");
+    m_pick_weight_ = &reg_->histogram("lb.pick.weight", labelled({}));
     auto transition = [&](const char* to) -> telemetry::Counter& {
-      return reg_->counter("lb.health.transitions",
-                           telemetry::Labels{{"to", to}});
+      return reg_->counter("lb.health.transitions", labelled({{"to", to}}));
     };
     m_to_healthy_ = &transition("healthy");
     m_to_suspect_ = &transition("suspect");
     m_to_dead_ = &transition("dead");
-    collector_.bind(frontend.simu(), [this](telemetry::Registry& reg) {
-      reg.gauge("lb.alive_backends")
+    collector_.bind(frontend.simu(), [this, labelled](telemetry::Registry& reg) {
+      reg.gauge("lb.alive_backends", labelled({}))
           .set(static_cast<double>(alive_backends()));
-      reg.gauge("lb.fetch_failures")
+      reg.gauge("lb.fetch_failures", labelled({}))
           .set(static_cast<double>(fetch_failures_));
     });
   }
-  frontend.spawn("lb-poller", [this, granularity](os::SimThread& t) {
-    return poller_body(t, granularity);
-  });
+  poller_thread_ =
+      frontend.spawn("lb-poller", [this, granularity](os::SimThread& t) {
+        return poller_body(t, granularity);
+      });
 }
 
 os::Program LoadBalancer::poller_body(os::SimThread& self,
@@ -163,6 +201,7 @@ os::Program LoadBalancer::poller_body(os::SimThread& self,
         apply_sample(i, s);
       }
     }
+    for (const auto& cb : round_cbs_) cb(targets);
     co_await os::SleepFor{granularity};
   }
 }

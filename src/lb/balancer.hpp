@@ -119,8 +119,53 @@ class LoadBalancer {
   void set_poll_mode(PollMode m) { poll_mode_ = m; }
   PollMode poll_mode() const { return poll_mode_; }
 
+  // --- scale-out hooks (src/cluster) ---------------------------------------
+  /// Restricts the poller to back ends the predicate accepts — the
+  /// scale-out plane's shard ownership filter. Re-evaluated every round,
+  /// so a ring rebalance takes effect at the next poll with no rewiring.
+  /// Back ends filtered out keep their samples/health state; feed them
+  /// through ingest_peer_sample / note_stale instead.
+  void set_poll_filter(std::function<bool(std::size_t)> f) {
+    poll_filter_ = std::move(f);
+  }
+
+  /// Observer invoked (inside the poller) after each round's samples have
+  /// been applied, with the round's target indices.
+  void on_round(std::function<void(const std::vector<std::size_t>&)> cb) {
+    round_cbs_.push_back(std::move(cb));
+  }
+
+  /// Merges a sample another front-end's poller retrieved (gossiped via a
+  /// peer-view READ) as if this balancer had fetched it: updates the
+  /// load sample and drives the same Healthy/Suspect/Dead detector.
+  /// Only the local fetch-latency statistic is left untouched.
+  void ingest_peer_sample(std::size_t i, const monitor::MonitorSample& s);
+
+  /// Counts one staleness strike against back end `i`: the peer-view
+  /// entry covering it exceeded the staleness bound, which is a
+  /// monitoring failure exactly like a timed-out fetch, and feeds the
+  /// same consecutive-failure HealthConfig thresholds.
+  void note_stale(std::size_t i);
+
+  /// Resets back end `i`'s failure detector to Healthy (zeroed streaks),
+  /// firing health callbacks if the state changes. Used on shard
+  /// takeover: the new owner starts with a clean detector so the
+  /// dead-probe cadence cannot throttle its first polls.
+  void reset_health(std::size_t i);
+
+  /// Labels this balancer's telemetry instruments with {frontend=<name>}
+  /// so M balancers sharing one registry stay distinguishable. Empty
+  /// (default) keeps the historical unlabelled names. Call before start().
+  void set_telemetry_instance(std::string name) {
+    telemetry_instance_ = std::move(name);
+  }
+
   /// Spawns the front-end poller thread. Call once after add_backend.
   void start(os::Node& frontend, sim::Duration granularity);
+
+  /// The poller spawned by start() (null before). The scale-out plane's
+  /// stall() kills it to model a hung monitoring process.
+  os::SimThread* poller_thread() { return poller_thread_; }
 
   /// Picks the next back end by smooth weighted round-robin over
   /// per-server weights w_i = max(floor, 1 - load_index_i), the WebSphere
@@ -164,7 +209,8 @@ class LoadBalancer {
 
   os::Program poller_body(os::SimThread& self, sim::Duration granularity);
   void record_fetch(std::size_t i, bool ok);
-  void apply_sample(std::size_t i, const monitor::MonitorSample& s);
+  void apply_sample(std::size_t i, const monitor::MonitorSample& s,
+                    bool local = true);
   /// Targets of poll round `round`: every live back end, plus the Dead
   /// ones on the dead-probe cadence.
   std::vector<std::size_t> poll_targets(std::uint64_t round) const;
@@ -172,6 +218,11 @@ class LoadBalancer {
   WeightConfig weights_;
   HealthConfig health_cfg_;
   PollMode poll_mode_ = PollMode::Scatter;
+  std::function<bool(std::size_t)> poll_filter_;  ///< shard ownership
+  std::vector<std::function<void(const std::vector<std::size_t>&)>>
+      round_cbs_;
+  std::string telemetry_instance_;  ///< "" = unlabelled instruments
+  os::SimThread* poller_thread_ = nullptr;
   std::vector<std::unique_ptr<monitor::MonitorChannel>> channels_;
   std::vector<monitor::MonitorSample> samples_;
   std::vector<Health> health_;

@@ -8,11 +8,16 @@ Dispatcher::Dispatcher(net::Fabric& fabric, os::Node& frontend,
                        LoadBalancer& lb, DispatcherConfig cfg)
     : fabric_(&fabric), frontend_(&frontend), lb_(&lb), cfg_(cfg) {
   collector_.bind(frontend.simu(), [this](telemetry::Registry& reg) {
-    reg.gauge("lb.dispatch.forwarded").set(static_cast<double>(forwarded_));
-    reg.gauge("lb.dispatch.rejected").set(static_cast<double>(rejected_));
-    reg.gauge("lb.dispatch.failed_over")
+    telemetry::Labels l;
+    if (!cfg_.telemetry_instance.empty()) {
+      l.add("frontend", cfg_.telemetry_instance);
+    }
+    reg.gauge("lb.dispatch.forwarded", l).set(static_cast<double>(forwarded_));
+    reg.gauge("lb.dispatch.rejected", l).set(static_cast<double>(rejected_));
+    reg.gauge("lb.dispatch.failed_over", l)
         .set(static_cast<double>(failed_over_));
-    reg.gauge("lb.dispatch.pending").set(static_cast<double>(pending_.size()));
+    reg.gauge("lb.dispatch.pending", l)
+        .set(static_cast<double>(pending_.size()));
   });
 }
 

@@ -82,22 +82,23 @@ BackendMonitor::~BackendMonitor() = default;
 void BackendMonitor::bind_socket(net::Socket& server_end) {
   assert(has_report_thread(cfg_.scheme));
   if (cfg_.scheme == Scheme::SocketAsync) {
-    report_thread_ = backend_.spawn(
+    report_threads_.push_back(backend_.spawn(
         "mon-report", [this, sock = &server_end](os::SimThread& t) {
           return report_async_body(t, sock, &slot_, cfg_.reply_bytes);
-        });
+        }));
   } else {
-    report_thread_ = backend_.spawn(
+    report_threads_.push_back(backend_.spawn(
         "mon-report", [this, sock = &server_end](os::SimThread& t) {
           return report_sync_body(t, &backend_, sock, cfg_.reply_bytes);
-        });
+        }));
   }
 }
 
 void BackendMonitor::stop() {
   if (calc_thread_) backend_.sched().kill(calc_thread_);
-  if (report_thread_) backend_.sched().kill(report_thread_);
-  calc_thread_ = report_thread_ = nullptr;
+  for (os::SimThread* t : report_threads_) backend_.sched().kill(t);
+  calc_thread_ = nullptr;
+  report_threads_.clear();
 }
 
 FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
@@ -298,10 +299,24 @@ os::Program FrontendMonitor::await_resolution(os::SimThread& self,
 
 MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,
                                os::Node& backend, MonitorConfig cfg) {
-  backend_monitor_ = std::make_unique<BackendMonitor>(fabric, backend, cfg);
+  owned_backend_ = std::make_unique<BackendMonitor>(fabric, backend, cfg);
+  backend_monitor_ = owned_backend_.get();
   net::Socket* client_end = nullptr;
   if (!is_rdma(cfg.scheme)) {
     conn_ = &fabric.connect(frontend, backend);
+    backend_monitor_->bind_socket(conn_->end_b());
+    client_end = &conn_->end_a();
+  }
+  frontend_monitor_ = std::make_unique<FrontendMonitor>(
+      fabric, frontend, *backend_monitor_, client_end);
+}
+
+MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,
+                               BackendMonitor& shared)
+    : backend_monitor_(&shared) {
+  net::Socket* client_end = nullptr;
+  if (!is_rdma(shared.config().scheme)) {
+    conn_ = &fabric.connect(frontend, shared.node());
     backend_monitor_->bind_socket(conn_->end_b());
     client_end = &conn_->end_a();
   }

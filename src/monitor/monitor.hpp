@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "monitor/scheme.hpp"
 #include "net/fabric.hpp"
@@ -83,8 +84,12 @@ class BackendMonitor {
   BackendMonitor(const BackendMonitor&) = delete;
   BackendMonitor& operator=(const BackendMonitor&) = delete;
 
-  /// Socket schemes: attaches the server endpoint the reporting thread
-  /// serves requests from. Must be called before the simulation runs.
+  /// Socket schemes: attaches a server endpoint and spawns a reporting
+  /// thread serving requests from it. Must be called before the
+  /// simulation runs. May be called once per monitoring front end — a
+  /// back end shared by M front-ends serves M connections with M
+  /// reporting threads, exactly how a real per-connection accept loop
+  /// would scale.
   void bind_socket(net::Socket& server_end);
 
   /// RDMA schemes: the rkey the front end reads.
@@ -103,7 +108,7 @@ class BackendMonitor {
   os::LoadSnapshot slot_;  ///< user-space shared location (async schemes)
   net::MrKey mr_key_{};
   os::SimThread* calc_thread_ = nullptr;
-  os::SimThread* report_thread_ = nullptr;
+  std::vector<os::SimThread*> report_threads_;  ///< one per bound socket
 };
 
 /// Front-end half: issues fetches against one back end.
@@ -229,14 +234,24 @@ class FrontendMonitor {
 /// socket schemes, QP/MR for RDMA) between a front-end and a back-end node.
 class MonitorChannel {
  public:
+  /// Creates the back-end half too (single-front-end wiring).
   MonitorChannel(net::Fabric& fabric, os::Node& frontend, os::Node& backend,
                  MonitorConfig cfg);
+
+  /// Attaches a new front end to an EXISTING back-end monitor (scale-out
+  /// wiring: M front-ends share one daemon set / one registered MR per
+  /// back end instead of instantiating M of them). Socket schemes get
+  /// their own connection and reporting thread; RDMA schemes just a QP
+  /// against the shared MR. `shared` must outlive this channel.
+  MonitorChannel(net::Fabric& fabric, os::Node& frontend,
+                 BackendMonitor& shared);
 
   FrontendMonitor& frontend() { return *frontend_monitor_; }
   BackendMonitor& backend() { return *backend_monitor_; }
 
  private:
-  std::unique_ptr<BackendMonitor> backend_monitor_;
+  std::unique_ptr<BackendMonitor> owned_backend_;  ///< null when shared
+  BackendMonitor* backend_monitor_ = nullptr;
   net::Connection* conn_ = nullptr;  // owned by the fabric
   std::unique_ptr<FrontendMonitor> frontend_monitor_;
 };

@@ -118,8 +118,12 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();
-  // Dead target or lost request packet: the op can never succeed.
-  if (fabric_.fault_state(target_node).crashed ||
+  // Dead host at EITHER end or lost request packet: the op can never
+  // succeed. The initiator-side check mirrors the socket path (a crashed
+  // node's packets vanish both ways) — without it a crashed front end
+  // would keep one-sided monitoring through its own NIC.
+  if (fabric_.fault_state(node_id()).crashed ||
+      fabric_.fault_state(target_node).crashed ||
       fabric_.sample_link_drop(node_id(), target_node)) {
     fail_after_retries(fabric_, std::move(c), std::move(done));
     return;
@@ -157,8 +161,10 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
         // THE key semantic: the content is sampled at the DMA instant.
         c.data = it->second.reader();
       }
-      // Response back to the initiator (may die on a lossy return path).
+      // Response back to the initiator (may die on a lossy return path,
+      // or find either host dead meanwhile).
       if (fabric_.fault_state(target.node_id()).crashed ||
+          fabric_.fault_state(node_id()).crashed ||
           fabric_.sample_link_drop(target.node_id(), node_id())) {
         fail_after_retries(fabric_, std::move(c), std::move(done));
         return;
@@ -184,7 +190,8 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();
-  if (fabric_.fault_state(target_node).crashed ||
+  if (fabric_.fault_state(node_id()).crashed ||
+      fabric_.fault_state(target_node).crashed ||
       fabric_.sample_link_drop(node_id(), target_node)) {
     fail_after_retries(fabric_, std::move(c), std::move(done));
     return;
@@ -223,6 +230,7 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
       }
       // Ack back to the initiator (small).
       if (fabric_.fault_state(target.node_id()).crashed ||
+          fabric_.fault_state(node_id()).crashed ||
           fabric_.sample_link_drop(target.node_id(), node_id())) {
         fail_after_retries(fabric_, std::move(c), std::move(done));
         return;

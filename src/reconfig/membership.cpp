@@ -1,0 +1,24 @@
+#include "reconfig/membership.hpp"
+
+namespace rdmamon::reconfig {
+
+bool FrontendMembership::join(int id, const std::string& reason) {
+  if (!ring_.add(id)) return false;
+  notify("join", id, reason);
+  return true;
+}
+
+bool FrontendMembership::leave(int id, const std::string& reason) {
+  if (!ring_.remove(id)) return false;
+  notify("leave", id, reason);
+  return true;
+}
+
+void FrontendMembership::notify(const char* what, int id,
+                                const std::string& reason) {
+  log_.push_back(std::string(what) + " " + std::to_string(id) + " (" +
+                 reason + ")");
+  for (const auto& cb : callbacks_) cb();
+}
+
+}  // namespace rdmamon::reconfig

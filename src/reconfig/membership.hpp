@@ -1,0 +1,66 @@
+// Front-end group membership: the reconfiguration plane's answer to
+// "who is polling what" when M front-ends share one cluster. Membership
+// owns the consistent-hash ring (src/cluster/ring); front-end joins,
+// graceful leaves, and observed deaths all flow through here, and every
+// change notifies the subscribed front-end planes so ownership filters
+// are recomputed before their next poll round.
+//
+// This object is the deterministic, in-simulation stand-in for the
+// external coordination service (etcd/ZooKeeper) a production deployment
+// would use: any front-end may report an unreachable peer, the removal
+// is applied once (reports are idempotent), and all observers see the
+// same ring because there IS one ring. Partition-tolerant consensus is
+// explicitly out of scope — the paper's testbed and ours share a single
+// non-partitioning switch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.hpp"
+
+namespace rdmamon::reconfig {
+
+class FrontendMembership {
+ public:
+  explicit FrontendMembership(cluster::RingConfig rc = {}) : ring_(rc) {}
+
+  FrontendMembership(const FrontendMembership&) = delete;
+  FrontendMembership& operator=(const FrontendMembership&) = delete;
+
+  /// Adds front-end `id` (join or re-join after recovery). Idempotent;
+  /// true if membership actually changed.
+  bool join(int id, const std::string& reason = "join");
+
+  /// Removes front-end `id` (graceful leave, or a peer reporting it
+  /// unreachable/stale). Idempotent; true if membership changed.
+  bool leave(int id, const std::string& reason = "leave");
+
+  bool is_member(int id) const { return ring_.contains(id); }
+  int members() const { return ring_.size(); }
+  const cluster::HashRing& ring() const { return ring_; }
+  int owner_of(int backend) const { return ring_.owner_of(backend); }
+  std::uint64_t epoch() const { return ring_.epoch(); }
+
+  /// Subscribes to every membership change. Callbacks run synchronously
+  /// inside join()/leave() — i.e. inside whichever simulated thread
+  /// reported the change — and must not mutate membership re-entrantly.
+  void on_change(std::function<void()> cb) {
+    callbacks_.push_back(std::move(cb));
+  }
+
+  /// One line per applied change ("join 2 (recovered)", ...), in
+  /// application order — the run's membership trace, for tests and logs.
+  const std::vector<std::string>& log() const { return log_; }
+
+ private:
+  void notify(const char* what, int id, const std::string& reason);
+
+  cluster::HashRing ring_;
+  std::vector<std::function<void()>> callbacks_;
+  std::vector<std::string> log_;
+};
+
+}  // namespace rdmamon::reconfig

@@ -5,16 +5,6 @@ namespace rdmamon::web {
 ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
     : simu_(simu), cfg_(cfg), seed_rng_(cfg.seed) {
   fabric_ = std::make_unique<net::Fabric>(simu_, cfg_.fabric);
-  frontend_ = std::make_unique<os::Node>(simu_, cfg_.frontend_node);
-  fabric_->attach(*frontend_);
-
-  lb_ = std::make_unique<lb::LoadBalancer>(
-      lb::WeightConfig::for_scheme(cfg_.scheme));
-  lb_->set_health_config(cfg_.health);
-  dispatcher_ = std::make_unique<lb::Dispatcher>(*fabric_, *frontend_, *lb_);
-  // A back end declared Dead immediately rejects its pending requests so
-  // closed-loop clients unblock and retraffic the survivors.
-  dispatcher_->enable_failover();
 
   monitor::MonitorConfig mcfg;
   mcfg.scheme = cfg_.scheme;
@@ -23,25 +13,78 @@ ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
   mcfg.fetch_retries = cfg_.fetch_retries;
   mcfg.retry_backoff = cfg_.retry_backoff;
 
-  for (int i = 0; i < cfg_.backends; ++i) {
-    os::NodeConfig ncfg = cfg_.backend_node;
-    ncfg.name = "backend" + std::to_string(i);
-    backends_.push_back(std::make_unique<os::Node>(simu_, ncfg));
-    os::Node& node = *backends_.back();
-    fabric_->attach(node);
-    servers_.push_back(
-        std::make_unique<WebServer>(*fabric_, node, cfg_.server));
-    dispatcher_->add_backend(*servers_.back());
-    lb_->add_backend(std::make_unique<monitor::MonitorChannel>(
-        *fabric_, *frontend_, node, mcfg));
+  if (cfg_.frontends <= 1) {
+    // The paper's single-front-end testbed, wired exactly as before the
+    // scale-out plane existed (same node names, same construction order,
+    // same thread spawn order) so fixed-seed runs stay byte-identical.
+    frontends_.push_back(std::make_unique<os::Node>(simu_, cfg_.frontend_node));
+    os::Node& fe = *frontends_.back();
+    fabric_->attach(fe);
+
+    lb_ = std::make_unique<lb::LoadBalancer>(
+        lb::WeightConfig::for_scheme(cfg_.scheme));
+    lb_->set_health_config(cfg_.health);
+    dispatchers_.push_back(
+        std::make_unique<lb::Dispatcher>(*fabric_, fe, *lb_));
+    // A back end declared Dead immediately rejects its pending requests so
+    // closed-loop clients unblock and retraffic the survivors.
+    dispatchers_.back()->enable_failover();
+
+    for (int i = 0; i < cfg_.backends; ++i) {
+      os::NodeConfig ncfg = cfg_.backend_node;
+      ncfg.name = "backend" + std::to_string(i);
+      backends_.push_back(std::make_unique<os::Node>(simu_, ncfg));
+      os::Node& node = *backends_.back();
+      fabric_->attach(node);
+      servers_.push_back(
+          std::make_unique<WebServer>(*fabric_, node, cfg_.server));
+      dispatchers_.back()->add_backend(*servers_.back());
+      lb_->add_backend(std::make_unique<monitor::MonitorChannel>(
+          *fabric_, fe, node, mcfg));
+    }
+    lb_->set_poll_mode(cfg_.lb_poll_mode);
+    lb_->start(fe, cfg_.lb_granularity);
+  } else {
+    // Scale-out testbed: M front ends over one shared back-end set. The
+    // plane owns the balancers (one per front end, poll-filtered to its
+    // ring shard) and the shared per-back-end monitors; each front end
+    // gets its own dispatcher over every server.
+    plane_ = std::make_unique<cluster::ScaleOutPlane>(*fabric_, cfg_.scaleout,
+                                                      mcfg);
+    for (int m = 0; m < cfg_.frontends; ++m) {
+      os::NodeConfig ncfg = cfg_.frontend_node;
+      ncfg.name = "frontend" + std::to_string(m);
+      frontends_.push_back(std::make_unique<os::Node>(simu_, ncfg));
+      os::Node& fe = *frontends_.back();
+      fabric_->attach(fe);
+      cluster::FrontendPlane& fp = plane_->add_frontend(
+          fe, lb::WeightConfig::for_scheme(cfg_.scheme));
+      fp.balancer().set_health_config(cfg_.health);
+      fp.balancer().set_poll_mode(cfg_.lb_poll_mode);
+      lb::DispatcherConfig dcfg;
+      dcfg.telemetry_instance = fe.name();
+      dispatchers_.push_back(
+          std::make_unique<lb::Dispatcher>(*fabric_, fe, fp.balancer(), dcfg));
+      dispatchers_.back()->enable_failover();
+    }
+    for (int i = 0; i < cfg_.backends; ++i) {
+      os::NodeConfig ncfg = cfg_.backend_node;
+      ncfg.name = "backend" + std::to_string(i);
+      backends_.push_back(std::make_unique<os::Node>(simu_, ncfg));
+      os::Node& node = *backends_.back();
+      fabric_->attach(node);
+      servers_.push_back(
+          std::make_unique<WebServer>(*fabric_, node, cfg_.server));
+      plane_->add_backend(node);
+      for (auto& d : dispatchers_) d->add_backend(*servers_.back());
+    }
+    plane_->start(cfg_.lb_granularity);
   }
-  lb_->set_poll_mode(cfg_.lb_poll_mode);
-  lb_->start(*frontend_, cfg_.lb_granularity);
 
   if (cfg_.admission_threshold >= 0.0) {
     admission_ =
         std::make_unique<lb::AdmissionController>(cfg_.admission_threshold);
-    dispatcher_->set_admission(admission_.get());
+    for (auto& d : dispatchers_) d->set_admission(admission_.get());
   }
 }
 
@@ -60,8 +103,12 @@ ClientGroup& ClusterTestbed::add_clients(int nodes, RequestGenerator gen,
     fabric_->attach(*clients_.back());
     group_nodes.push_back(clients_.back().get());
   }
+  // Scale-out mode: client groups spread round-robin over the front-end
+  // dispatchers (group g talks to front end g mod M). Single-front-end
+  // mode has one dispatcher, so this is the historical wiring.
+  lb::Dispatcher& disp = *dispatchers_[groups_.size() % dispatchers_.size()];
   groups_.push_back(std::make_unique<ClientGroup>(
-      *fabric_, *dispatcher_, std::move(group_nodes), std::move(gen), ccfg,
+      *fabric_, disp, std::move(group_nodes), std::move(gen), ccfg,
       seed_rng_.split()));
   return *groups_.back();
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/scaleout.hpp"
 #include "lb/admission.hpp"
 #include "lb/balancer.hpp"
 #include "lb/dispatcher.hpp"
@@ -22,6 +23,15 @@ namespace rdmamon::web {
 
 struct ClusterConfig {
   int backends = 8;
+  /// Front-end dispatcher/balancer count. 1 (default) builds the
+  /// paper's single-front-end testbed exactly as before; > 1 builds the
+  /// scale-out plane: M front ends partition polling by consistent
+  /// hash, gossip shard views over one-sided READs, and each run their
+  /// own dispatcher (client groups are assigned round-robin).
+  int frontends = 1;
+  /// Scale-out tuning (gossip cadence, staleness bound, ring vnodes).
+  /// Ignored when frontends == 1.
+  cluster::ScaleOutConfig scaleout;
   monitor::Scheme scheme = monitor::Scheme::RdmaSync;
   /// T: async schemes' back-end update period.
   sim::Duration monitor_period = sim::msec(50);
@@ -70,7 +80,10 @@ class ClusterTestbed {
 
   sim::Simulation& simu() { return simu_; }
   net::Fabric& fabric() { return *fabric_; }
-  os::Node& frontend() { return *frontend_; }
+  os::Node& frontend(int i = 0) {
+    return *frontends_[static_cast<std::size_t>(i)];
+  }
+  int frontend_count() const { return static_cast<int>(frontends_.size()); }
   os::Node& backend(int i) { return *backends_[static_cast<std::size_t>(i)]; }
   int backend_count() const { return static_cast<int>(backends_.size()); }
   std::vector<os::Node*> backend_ptrs() {
@@ -79,8 +92,14 @@ class ClusterTestbed {
     return out;
   }
   WebServer& server(int i) { return *servers_[static_cast<std::size_t>(i)]; }
-  lb::LoadBalancer& balancer() { return *lb_; }
-  lb::Dispatcher& dispatcher() { return *dispatcher_; }
+  lb::LoadBalancer& balancer(int i = 0) {
+    return plane_ ? plane_->frontend(i).balancer() : *lb_;
+  }
+  lb::Dispatcher& dispatcher(int i = 0) {
+    return *dispatchers_[static_cast<std::size_t>(i)];
+  }
+  /// The scale-out plane; nullptr in the single-front-end testbed.
+  cluster::ScaleOutPlane* plane() { return plane_.get(); }
   lb::AdmissionController* admission() { return admission_.get(); }
   const ClusterConfig& config() const { return cfg_; }
 
@@ -89,12 +108,13 @@ class ClusterTestbed {
   ClusterConfig cfg_;
   sim::Rng seed_rng_;
   std::unique_ptr<net::Fabric> fabric_;
-  std::unique_ptr<os::Node> frontend_;
+  std::vector<std::unique_ptr<os::Node>> frontends_;
   std::vector<std::unique_ptr<os::Node>> backends_;
   std::vector<std::unique_ptr<os::Node>> clients_;
   std::vector<std::unique_ptr<WebServer>> servers_;
-  std::unique_ptr<lb::LoadBalancer> lb_;
-  std::unique_ptr<lb::Dispatcher> dispatcher_;
+  std::unique_ptr<lb::LoadBalancer> lb_;  ///< single-front-end mode only
+  std::unique_ptr<cluster::ScaleOutPlane> plane_;  ///< frontends > 1 only
+  std::vector<std::unique_ptr<lb::Dispatcher>> dispatchers_;
   std::unique_ptr<lb::AdmissionController> admission_;
   std::vector<std::unique_ptr<ClientGroup>> groups_;
 };

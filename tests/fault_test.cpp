@@ -6,10 +6,13 @@
 // keeps serving one-sided RDMA READs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "cluster/scaleout.hpp"
 #include "fault/fault.hpp"
 #include "lb/balancer.hpp"
 #include "monitor/monitor.hpp"
@@ -330,6 +333,230 @@ TEST(Failover, PendingRequestsAreRejectedAndRoutingResumesAfterRecovery) {
   EXPECT_EQ(bed.balancer().health_of(0), lb::BackendHealth::Healthy);
   EXPECT_GT(fwd_at_900, fwd_at_700);
   EXPECT_GT(g.stats().completed(), 0u);
+}
+
+// --- multi-front-end scale-out under faults ----------------------------------
+//
+// The owner of a shard dies mid-round: peers must notice (failed or
+// stale view READs), evict it from the ring, take its shard over, and
+// keep every back end's monitoring gap bounded. Front ends are fabric
+// nodes 0..M-1 (they attach before the back ends).
+
+/// Fast scale-out cadences mirroring scaleout_test.cpp: 10 ms polling
+/// and gossip, so eviction (3 failed reads) matures in ~45 ms.
+web::ClusterConfig scaleout_cfg(int frontends, int backends,
+                                sim::Duration staleness) {
+  web::ClusterConfig cfg;
+  cfg.frontends = frontends;
+  cfg.backends = backends;
+  cfg.scheme = Scheme::RdmaSync;
+  cfg.monitor_period = msec(10);
+  cfg.lb_granularity = msec(10);
+  cfg.fetch_timeout = msec(5);
+  cfg.fetch_retries = 2;
+  cfg.retry_backoff = msec(2);
+  cfg.scaleout.gossip_period = msec(10);
+  cfg.scaleout.read_timeout = msec(5);
+  cfg.scaleout.staleness_bound = staleness;
+  return cfg;
+}
+
+TEST(ScaleOutFault, OwnerCrashEvictsAndSurvivorTakesOver) {
+  sim::Simulation simu;
+  web::ClusterTestbed bed(simu, scaleout_cfg(2, 8, msec(60)));
+  cluster::ScaleOutPlane& plane = *bed.plane();
+  simu.at(sim::TimePoint{msec(200).ns},
+          [&] { bed.fabric().inject_crash(plane.frontend(0).node().id); });
+  simu.run_for(msec(700));
+
+  // The survivor evicted the dead owner and owns the whole cluster.
+  EXPECT_FALSE(plane.membership().is_member(0));
+  EXPECT_TRUE(plane.membership().is_member(1));
+  EXPECT_GE(plane.frontend(1).evictions(), 1u);
+  EXPECT_GE(plane.frontend(1).takeovers(), 1u);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(plane.owner_of(b), 1);
+    EXPECT_GT(plane.frontend(1).poll_counts()[static_cast<std::size_t>(b)],
+              0u);
+    EXPECT_EQ(plane.frontend(1).balancer().health_of(b),
+              lb::BackendHealth::Healthy);
+  }
+  // The crashed front end may NOT counter-evict the survivor: its own
+  // polls stopped landing, so the self-isolation guard silences it.
+  EXPECT_EQ(plane.frontend(0).evictions(), 0u);
+}
+
+TEST(ScaleOutFault, CrashedOwnerRejoinsAndReclaimsItsShard) {
+  sim::Simulation simu;
+  web::ClusterTestbed bed(simu, scaleout_cfg(2, 8, msec(60)));
+  cluster::ScaleOutPlane& plane = *bed.plane();
+  const int fe0_shard = plane.frontend(0).owned_count();
+  ASSERT_GT(fe0_shard, 0);
+
+  fault::FaultInjector inj(bed.fabric());
+  fault::FaultPlan plan;
+  plan.crash_for(plane.frontend(0).node().id, sim::TimePoint{msec(200).ns},
+                 msec(200));
+  inj.arm(plan);
+  simu.run_for(msec(800));
+
+  // Evicted while dead, rejoined on the first successful peer read
+  // after recovery, and the ring's stable hash restored its old shard.
+  EXPECT_TRUE(plane.membership().is_member(0));
+  EXPECT_GE(plane.frontend(1).evictions(), 1u);
+  EXPECT_GE(plane.frontend(0).rejoins(), 1u);
+  EXPECT_EQ(plane.frontend(0).owned_count(), fe0_shard);
+  for (int m = 0; m < 2; ++m) {
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_EQ(plane.frontend(m).balancer().health_of(b),
+                lb::BackendHealth::Healthy)
+          << "frontend " << m << " backend " << b;
+    }
+  }
+}
+
+TEST(ScaleOutFault, FrozenFrontendKeepsMonitoringOverRdma) {
+  // The paper's claim, applied to the plane itself: one-sided ops need
+  // no host CPU at either end, so a FROZEN front end (inbound socket
+  // packets parked at ingress) keeps polling its shard, keeps serving
+  // its view MR, and keeps reading peers — nothing degrades, nobody is
+  // evicted. Contrast ScaleOutFault.OwnerCrash*: death is a crash.
+  sim::Simulation simu;
+  web::ClusterTestbed bed(simu, scaleout_cfg(2, 8, msec(60)));
+  cluster::ScaleOutPlane& plane = *bed.plane();
+  simu.run_for(msec(200));
+  const std::vector<std::uint64_t> before = plane.frontend(0).poll_counts();
+  bed.fabric().inject_freeze(plane.frontend(0).node().id);
+  simu.run_for(msec(200));
+  bed.fabric().inject_unfreeze(plane.frontend(0).node().id);
+  const std::vector<std::uint64_t> during = plane.frontend(0).poll_counts();
+  simu.run_for(msec(100));
+
+  EXPECT_TRUE(plane.membership().is_member(0));
+  EXPECT_TRUE(plane.membership().is_member(1));
+  EXPECT_EQ(plane.frontend(0).evictions() + plane.frontend(1).evictions(),
+            0u);
+  for (int b = 0; b < 8; ++b) {
+    const std::size_t i = static_cast<std::size_t>(b);
+    if (plane.owner_of(b) == 0) {
+      // ~20 poll rounds fit the freeze window; all kept landing.
+      EXPECT_GE(during[i], before[i] + 10) << "backend " << b;
+    }
+    for (int m = 0; m < 2; ++m) {
+      EXPECT_EQ(plane.frontend(m).balancer().health_of(b),
+                lb::BackendHealth::Healthy)
+          << "frontend " << m << " backend " << b;
+    }
+  }
+}
+
+TEST(ScaleOutFault, StalledPollerIsEvictedOnStaleView) {
+  // A hung monitoring PROCESS on a live host: the NIC keeps DMA-serving
+  // the view MR (peer READs succeed), but published_at stops advancing.
+  // Peers must detect staleness — first per back end (note_stale
+  // strikes from the sweep), then of the publisher itself (stale-view
+  // fail streak -> eviction) — and take the shard over.
+  sim::Simulation simu;
+  web::ClusterTestbed bed(simu, scaleout_cfg(2, 8, msec(60)));
+  cluster::ScaleOutPlane& plane = *bed.plane();
+  ASSERT_GT(plane.frontend(0).owned_count(), 0);
+  simu.run_for(msec(200));
+  plane.frontend(0).stall();
+  const std::uint64_t stalled_round = plane.frontend(0).view().round;
+  simu.run_for(msec(400));
+
+  // The view really did stop being published...
+  EXPECT_EQ(plane.frontend(0).view().round, stalled_round);
+  // ...its reads kept succeeding (one-sided, no publisher CPU)...
+  EXPECT_GT(plane.frontend(1).gossip_reads_ok(), 0u);
+  // ...and the survivor detected the staleness and took over.
+  EXPECT_GE(plane.frontend(1).stale_marks(), 1u);
+  EXPECT_GE(plane.frontend(1).evictions(), 1u);
+  EXPECT_FALSE(plane.membership().is_member(0));
+  bool saw_stale_view = false;
+  for (const std::string& line : plane.membership().log()) {
+    if (line.find("stale view") != std::string::npos) saw_stale_view = true;
+  }
+  EXPECT_TRUE(saw_stale_view);
+  for (int b = 0; b < 8; ++b) {
+    EXPECT_EQ(plane.owner_of(b), 1);
+    EXPECT_EQ(plane.frontend(1).balancer().health_of(b),
+              lb::BackendHealth::Healthy);
+  }
+}
+
+TEST(ScaleOutFault, RandomFrontendCrashPlanKeepsEveryBackendMonitored) {
+  // The headline guarantee under a randomized fault plan: staggered
+  // random crash windows keep killing owners mid-round, and still no
+  // back end's freshest successful sample (across ALL front ends) ever
+  // ages past the staleness bound. Detection (3 failed 10 ms gossip
+  // reads + retry completions) plus the takeover poll round needs
+  // ~65 ms worst-case, inside the 80 ms bound used here.
+  constexpr int kFrontends = 3;
+  constexpr int kBackends = 12;
+  const sim::Duration staleness = msec(80);
+  sim::Simulation simu;
+  web::ClusterTestbed bed(simu, scaleout_cfg(kFrontends, kBackends,
+                                             staleness));
+  cluster::ScaleOutPlane& plane = *bed.plane();
+
+  // Random victims and offsets, staggered so windows never overlap (a
+  // second simultaneous front-end death is indistinguishable from a
+  // partition at M=3 and out of scope for the bound).
+  sim::Rng rng(2024);
+  fault::FaultPlan plan;
+  constexpr int kWindows = 4;
+  for (int k = 0; k < kWindows; ++k) {
+    const int victim = static_cast<int>(rng.uniform_int(0, kFrontends - 1));
+    const auto start = msec(250 + 450 * k +
+                            static_cast<std::int64_t>(rng.uniform(0.0, 100.0)));
+    const auto dur =
+        msec(100 + static_cast<std::int64_t>(rng.uniform(0.0, 100.0)));
+    plan.crash_for(victim, sim::TimePoint{start.ns}, dur);
+  }
+  fault::FaultInjector inj(bed.fabric());
+  inj.arm(plan);
+
+  // Probe from a neutral (never-faulted) back-end node: every 5 ms,
+  // the age of each back end's freshest OK sample across front ends.
+  std::int64_t worst_gap_ns = 0;
+  bed.backend(0).spawn("probe", [&](SimThread&) -> Program {
+    for (;;) {
+      co_await os::SleepFor{msec(5)};
+      const sim::TimePoint now = simu.now();
+      if (now.ns < msec(150).ns) continue;  // startup: first polls land
+      for (int b = 0; b < kBackends; ++b) {
+        std::int64_t newest = 0;
+        for (int m = 0; m < kFrontends; ++m) {
+          const auto& s = plane.frontend(m).balancer().last_sample(b);
+          if (s.ok) newest = std::max(newest, s.retrieved_at.ns);
+        }
+        worst_gap_ns = std::max(worst_gap_ns, now.ns - newest);
+      }
+    }
+  });
+  simu.run_for(msec(2200));
+
+  EXPECT_LE(worst_gap_ns, staleness.ns)
+      << "a backend went unmonitored past the staleness bound";
+  // Every crash was detected (ring rebalanced) and every victim healed
+  // back in: full membership, every back end owned and freshly polled.
+  std::uint64_t evictions = 0, takeovers = 0, rejoins = 0;
+  for (int m = 0; m < kFrontends; ++m) {
+    evictions += plane.frontend(m).evictions();
+    takeovers += plane.frontend(m).takeovers();
+    rejoins += plane.frontend(m).rejoins();
+    EXPECT_TRUE(plane.membership().is_member(m));
+  }
+  EXPECT_GE(evictions, 1u);
+  EXPECT_GE(takeovers, 1u);
+  EXPECT_GE(rejoins, 1u);
+  for (int b = 0; b < kBackends; ++b) {
+    const int owner = plane.owner_of(b);
+    ASSERT_GE(owner, 0);
+    EXPECT_EQ(plane.frontend(owner).balancer().health_of(b),
+              lb::BackendHealth::Healthy);
+  }
 }
 
 // --- determinism -------------------------------------------------------------

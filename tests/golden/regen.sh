@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerate the golden-trace JSONs after an INTENDED behaviour change.
+# Run from the repo root; pass the build dir as $1 (default: build).
+# Commit the refreshed goldens together with the change that moved them.
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+build="${1:-build}"
+
+cmake --build "$build" --target bench_fig3_latency bench_fig5_accuracy
+for b in fig3_latency fig5_accuracy; do
+  RDMAMON_BENCH_DIR=tests/golden "./$build/bench/bench_$b" --quick >/dev/null
+  echo "regenerated tests/golden/BENCH_$b.json"
+done

@@ -1,0 +1,19 @@
+# ctest driver for one golden-trace check: run the quick-mode bench with
+# its JSON redirected into OUT_DIR, then diff FRESH against GOLDEN with
+# check_golden.py. Invoked from tests/CMakeLists.txt; see check_golden.py
+# for the regeneration workflow.
+file(MAKE_DIRECTORY "${OUT_DIR}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env RDMAMON_BENCH_DIR=${OUT_DIR}
+          ${BENCH} --quick
+  RESULT_VARIABLE bench_rc
+  OUTPUT_QUIET)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench exited with ${bench_rc}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${CHECKER} ${GOLDEN} ${FRESH}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "golden-trace check failed (${check_rc})")
+endif()

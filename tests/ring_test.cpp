@@ -1,0 +1,177 @@
+// Property tests of the consistent-hash ring the scale-out plane
+// partitions polling with (cluster/ring): ownership is a partition,
+// spread stays within a constant factor of N/M, and membership churn
+// moves only the departed/arrived member's O(N/M) share.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cluster/ring.hpp"
+
+namespace rdmamon::cluster {
+namespace {
+
+std::vector<int> owners(const HashRing& ring, int n) {
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) out[static_cast<std::size_t>(b)] = ring.owner_of(b);
+  return out;
+}
+
+std::map<int, int> shard_sizes(const HashRing& ring, int n) {
+  std::map<int, int> sizes;
+  for (int m : ring.members()) sizes[m] = 0;
+  for (int b = 0; b < n; ++b) sizes[ring.owner_of(b)]++;
+  return sizes;
+}
+
+TEST(Ring, EmptyRingOwnsNothing) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.owner_of(0), -1);
+  EXPECT_EQ(ring.owner_of_key(12345u), -1);
+}
+
+TEST(Ring, AddRemoveAreIdempotentAndBumpEpoch) {
+  HashRing ring;
+  EXPECT_TRUE(ring.add(3));
+  EXPECT_FALSE(ring.add(3));
+  EXPECT_EQ(ring.epoch(), 1u);
+  EXPECT_TRUE(ring.add(1));
+  EXPECT_EQ(ring.epoch(), 2u);
+  EXPECT_TRUE(ring.remove(3));
+  EXPECT_FALSE(ring.remove(3));
+  EXPECT_EQ(ring.epoch(), 3u);
+  EXPECT_EQ(ring.size(), 1);
+  EXPECT_TRUE(ring.contains(1));
+  EXPECT_FALSE(ring.contains(3));
+}
+
+TEST(Ring, OwnershipIsAPartitionOverLiveMembers) {
+  for (int m_count : {1, 2, 3, 5, 8}) {
+    HashRing ring;
+    for (int m = 0; m < m_count; ++m) ring.add(m);
+    for (int n : {16, 64, 256}) {
+      std::set<int> seen_owners;
+      for (int b = 0; b < n; ++b) {
+        const int o = ring.owner_of(b);
+        ASSERT_GE(o, 0);
+        ASSERT_LT(o, m_count);
+        ASSERT_TRUE(ring.contains(o));
+        seen_owners.insert(o);
+      }
+      // With 64 vnodes per member and N >= 8M, no member ends up with an
+      // empty shard at these sizes (pinned by the fixed default salt;
+      // at N close to M an empty shard is legitimately possible).
+      if (n >= 8 * m_count) {
+        EXPECT_EQ(static_cast<int>(seen_owners.size()), m_count)
+            << "m=" << m_count << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Ring, SingleMemberOwnsEverything) {
+  HashRing ring;
+  ring.add(7);
+  for (int b = 0; b < 256; ++b) EXPECT_EQ(ring.owner_of(b), 7);
+}
+
+TEST(Ring, SpreadStaysWithinBoundOfFairShare) {
+  // The classic consistent-hashing spread property: with 64 vnodes the
+  // largest shard stays within a small constant of N/M. The factor here
+  // (2x) is what the default salt actually achieves across this sweep;
+  // it is a regression pin, not a theoretical bound.
+  for (int m_count : {2, 4, 8}) {
+    HashRing ring;
+    for (int m = 0; m < m_count; ++m) ring.add(m);
+    for (int n : {64, 256}) {
+      const auto sizes = shard_sizes(ring, n);
+      const double fair = static_cast<double>(n) / m_count;
+      for (const auto& [member, size] : sizes) {
+        EXPECT_LE(size, static_cast<int>(2.0 * fair) + 1)
+            << "member " << member << " m=" << m_count << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Ring, RemovalMovesOnlyTheDepartedShard) {
+  constexpr int kMembers = 4;
+  constexpr int kBackends = 256;
+  HashRing ring;
+  for (int m = 0; m < kMembers; ++m) ring.add(m);
+  const std::vector<int> before = owners(ring, kBackends);
+  ring.remove(2);
+  const std::vector<int> after = owners(ring, kBackends);
+  for (int b = 0; b < kBackends; ++b) {
+    const std::size_t i = static_cast<std::size_t>(b);
+    if (before[i] != 2) {
+      // Minimal churn: a backend whose owner survives keeps it.
+      EXPECT_EQ(after[i], before[i]) << "backend " << b;
+    } else {
+      EXPECT_NE(after[i], 2) << "backend " << b;
+    }
+  }
+}
+
+TEST(Ring, AdditionTakesOnlyItsOwnShare) {
+  constexpr int kMembers = 4;
+  constexpr int kBackends = 256;
+  HashRing ring;
+  for (int m = 0; m < kMembers; ++m) ring.add(m);
+  const std::vector<int> before = owners(ring, kBackends);
+  ring.add(kMembers);  // joiner
+  const std::vector<int> after = owners(ring, kBackends);
+  int moved = 0;
+  for (int b = 0; b < kBackends; ++b) {
+    const std::size_t i = static_cast<std::size_t>(b);
+    if (after[i] != before[i]) {
+      // Every move is INTO the joiner — nothing reshuffles among the
+      // incumbents.
+      EXPECT_EQ(after[i], kMembers) << "backend " << b;
+      ++moved;
+    }
+  }
+  // O(N/M) churn: the joiner picks up roughly its fair share and no
+  // more than twice it (same pinned constant as the spread test).
+  EXPECT_GT(moved, 0);
+  EXPECT_LE(moved, 2 * kBackends / (kMembers + 1) + 1);
+}
+
+TEST(Ring, RemoveThenReAddRestoresOwnership) {
+  HashRing ring;
+  for (int m = 0; m < 4; ++m) ring.add(m);
+  const std::vector<int> before = owners(ring, 128);
+  ring.remove(1);
+  ring.add(1);
+  EXPECT_EQ(owners(ring, 128), before);
+}
+
+TEST(Ring, IndependentRingsWithSameMembershipAgree) {
+  // The plane's core correctness claim: ownership is a pure function of
+  // (config, membership), so rings built in different orders agree.
+  HashRing a, b;
+  a.add(0);
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(0);
+  b.add(1);
+  EXPECT_EQ(owners(a, 256), owners(b, 256));
+}
+
+TEST(Ring, DifferentSaltsGiveDifferentLayouts) {
+  RingConfig other;
+  other.salt = 0x1234567890abcdefull;
+  HashRing a, b(other);
+  for (int m = 0; m < 4; ++m) {
+    a.add(m);
+    b.add(m);
+  }
+  EXPECT_NE(owners(a, 256), owners(b, 256));
+}
+
+}  // namespace
+}  // namespace rdmamon::cluster
