@@ -80,10 +80,10 @@ void ablation_push_vs_pull(bool quick, bench::JsonReport& report) {
     workload::BackgroundLoadConfig bl;
     bl.threads = 6;
     workload::BackgroundLoad bg(fabric, be, peer, bl);
-    monitor::PushConfig pcfg;
+    monitor::MulticastConfig pcfg;
     pcfg.period = sim::msec(50);
-    monitor::PushPublisher pub(fabric, be, pcfg);
-    monitor::PushSubscriber& sub = pub.subscribe(fe);
+    monitor::MulticastPublisher pub(fabric, be, pcfg);
+    monitor::MulticastSubscriber& sub = pub.subscribe(fe);
     pub.start();
     sim::OnlineStats staleness_ms, nr_dev;
     fe.spawn("sampler", [&](os::SimThread&) -> os::Program {

@@ -12,10 +12,14 @@
 #include "args.hpp"
 #include "common.hpp"
 #include "report.hpp"
+#include "lb/balancer.hpp"
+#include "monitor/adaptive.hpp"
+#include "monitor/inbox.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/scatter.hpp"
 #include "net/fabric.hpp"
 #include "os/node.hpp"
+#include "sim/random.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 
@@ -79,6 +83,136 @@ RoundStats run_rounds(Scheme scheme, int n, bool scatter_mode, int rounds) {
   });
   simu.run_for(sim::seconds(60));
   return stats;
+}
+
+// --- push vs pull vs adaptive: freshness per fabric byte ---------------------
+//
+// The pull rows above measure round cost; this sweep measures the trade
+// the push scheme exists for. Each back end toggles between busy and idle
+// phases (deterministic, seeded offsets), and the dispatcher's view is
+// scored by VALUE error — the time-averaged |view load index - true load
+// index| — against the fabric bytes the monitoring consumed. The headline
+// metric cost = mean_error x bytes/sec rewards a scheme for being right
+// cheaply: event-driven push wins at low change rates (it sends only when
+// the load moves, and immediately), polling wins at high rates (its byte
+// budget is flat while push pays per change); adaptive must land near the
+// better of the two everywhere.
+
+struct StrategyCell {
+  double mean_err = 0.0;
+  double bytes_per_sec = 0.0;
+  double cost = 0.0;  ///< mean_err * bytes_per_sec (lower is better)
+  std::uint64_t pushes = 0;
+  std::uint64_t verifications = 0;
+  std::uint64_t switches = 0;
+};
+
+StrategyCell run_strategy(monitor::MonitorStrategy strat, int n,
+                          bool high_rate, std::uint64_t seed,
+                          sim::Duration horizon) {
+  sim::Simulation simu;
+  net::Fabric fabric(simu, {});
+  os::Node frontend(simu, {.name = "fe"});
+  fabric.attach(frontend);
+
+  const lb::WeightConfig weights =
+      lb::WeightConfig::for_scheme(Scheme::RdmaSync);
+  lb::LoadBalancer lb(weights);
+  monitor::MonitorConfig mcfg;
+  mcfg.scheme = Scheme::RdmaSync;
+  std::vector<std::unique_ptr<os::Node>> backends;
+  sim::Rng rng(seed);
+  // Busy/idle phase length: "low" change rate flips well under the poll
+  // rate (1/granularity), "high" well above the push scheme's
+  // min_interval damping.
+  const sim::Duration phase = high_rate ? sim::msec(20) : sim::seconds(2);
+  for (int i = 0; i < n; ++i) {
+    os::NodeConfig cfg;
+    cfg.name = "be" + std::to_string(i);
+    backends.push_back(std::make_unique<os::Node>(simu, cfg));
+    fabric.attach(*backends.back());
+    lb.add_backend(std::make_unique<monitor::MonitorChannel>(
+        fabric, frontend, *backends.back(), mcfg));
+    // The load driver: alternate runnable and asleep, desynchronised by a
+    // seeded offset so the cluster's changes spread over time.
+    const sim::Duration offset{rng.uniform_int(0, 2 * phase.ns)};
+    backends.back()->spawn(
+        "toggler", [phase, offset](os::SimThread&) -> os::Program {
+          co_await os::SleepFor{offset};
+          for (;;) {
+            co_await os::Compute{phase};
+            co_await os::SleepFor{phase};
+          }
+        });
+  }
+
+  monitor::PushConfig pushcfg;  // defaults: 5ms check, 100ms heartbeat
+  std::unique_ptr<monitor::PushInbox> inbox;
+  std::vector<std::unique_ptr<monitor::PushPublisher>> pubs;
+  if (strat != monitor::MonitorStrategy::Pull) {
+    inbox = std::make_unique<monitor::PushInbox>(fabric, frontend, n,
+                                                 pushcfg.slot_bytes);
+    lb::PushPollConfig pcfg;
+    pcfg.strategy = strat;
+    pcfg.adaptive.push_heartbeat = pushcfg.max_interval;
+    pcfg.adaptive.change_threshold = pushcfg.change_threshold;
+    lb.enable_push(*inbox, pcfg);
+    for (int i = 0; i < n; ++i) {
+      pubs.push_back(std::make_unique<monitor::PushPublisher>(
+          fabric, *backends[static_cast<std::size_t>(i)], pushcfg));
+      pubs.back()->target(frontend.id, inbox->mr_key(), i);
+    }
+    lb.on_mode_change([&pubs](std::size_t b, monitor::FetchMode m) {
+      if (m == monitor::FetchMode::Pull) {
+        pubs[b]->pause();
+      } else {
+        pubs[b]->resume();
+      }
+    });
+    for (auto& p : pubs) p->start();
+  }
+  lb.start(frontend, sim::msec(50));
+  // Sync publisher pause state with the initial per-backend mode (the
+  // mode-change callback only fires on SWITCHES; adaptive starts in Pull).
+  for (std::size_t b = 0; b < pubs.size(); ++b) {
+    if (lb.fetch_mode(b) == monitor::FetchMode::Pull) pubs[b]->pause();
+  }
+
+  // Steady-state measurement: the first second (publisher ramp-up,
+  // adaptive convergence) is excluded from both error and byte totals.
+  const sim::Duration warmup = sim::seconds(1);
+  auto total_bytes = [&] {
+    std::uint64_t b = fabric.nic(frontend.id).rdma_wire_bytes();
+    for (auto& be : backends) b += fabric.nic(be->id).rdma_wire_bytes();
+    return b;
+  };
+  std::uint64_t base_bytes = 0;
+  simu.at(sim::TimePoint{} + warmup, [&] { base_bytes = total_bytes(); });
+  sim::OnlineStats err;
+  const sim::Duration probe_every = sim::msec(10);
+  for (sim::Duration t = warmup; t < warmup + horizon; t += probe_every) {
+    simu.at(sim::TimePoint{} + t, [&] {
+      for (int i = 0; i < n; ++i) {
+        const double truth = lb::load_index(
+            backends[static_cast<std::size_t>(i)]->procfs().snapshot(),
+            weights);
+        const monitor::MonitorSample& s = lb.last_sample(i);
+        const double seen = s.ok ? lb::load_index(s.info, weights) : 0.0;
+        err.add(std::abs(truth - seen));
+      }
+    });
+  }
+  simu.run_for(warmup + horizon);
+
+  StrategyCell cell;
+  cell.mean_err = err.mean();
+  cell.bytes_per_sec =
+      static_cast<double>(total_bytes() - base_bytes) / horizon.seconds();
+  cell.cost = cell.mean_err * cell.bytes_per_sec;
+  for (auto& p : pubs) cell.pushes += p->pushes();
+  cell.verifications = lb.push_verifications();
+  if (lb.adaptive() != nullptr) cell.switches = lb.adaptive()->total_switches();
+  return cell;
 }
 
 }  // namespace
@@ -166,6 +300,88 @@ int main(int argc, char** argv) {
       small.round_us.mean() > 0.0
           ? large.round_us.mean() / small.round_us.mean()
           : 0.0;
+
+  // --- push / pull / adaptive freshness-per-byte sweep -----------------------
+  const std::vector<int> push_ns =
+      opt.quick ? std::vector<int>{16, 32} : std::vector<int>{64, 128, 256};
+  const sim::Duration push_horizon =
+      opt.quick ? sim::seconds(3) : sim::seconds(6);
+  const std::vector<monitor::MonitorStrategy> strategies = {
+      monitor::MonitorStrategy::Pull, monitor::MonitorStrategy::Push,
+      monitor::MonitorStrategy::Adaptive};
+
+  std::cout << "\n--- monitoring strategy: freshness x fabric cost "
+               "(cost = mean view error * bytes/s; lower is better) ---\n";
+  auto& push_results = report.root()["push_results"];
+  push_results = rdmamon::util::JsonValue::array();
+  // cost[rate][n][strategy], for the table and the headline assertion.
+  std::vector<std::vector<std::vector<double>>> costs(
+      2, std::vector<std::vector<double>>(
+             push_ns.size(), std::vector<double>(strategies.size(), 0.0)));
+  for (int rate = 0; rate < 2; ++rate) {
+    const bool high_rate = rate == 1;
+    rdmamon::util::Table table;
+    std::vector<std::string> header = {
+        std::string(high_rate ? "high" : "low") + "-rate strategy"};
+    for (int n : push_ns) header.push_back("N=" + std::to_string(n));
+    table.set_header(header);
+    table.set_align(0, rdmamon::util::Align::Left);
+    for (std::size_t si = 0; si < strategies.size(); ++si) {
+      const monitor::MonitorStrategy strat = strategies[si];
+      std::vector<std::string> row = {monitor::to_string(strat)};
+      for (std::size_t ni = 0; ni < push_ns.size(); ++ni) {
+        const int n = push_ns[ni];
+        const StrategyCell c =
+            run_strategy(strat, n, high_rate, opt.seed, push_horizon);
+        costs[static_cast<std::size_t>(rate)][ni][si] = c.cost;
+        row.push_back(rdmamon::bench::num(c.cost, 1) + " (" +
+                      rdmamon::bench::num(c.mean_err, 3) + " x " +
+                      rdmamon::bench::num(c.bytes_per_sec / 1e3, 1) + "KB/s)");
+        auto& r = push_results.push_back(rdmamon::util::JsonValue::object());
+        r["strategy"] = monitor::to_string(strat);
+        r["rate"] = high_rate ? "high" : "low";
+        r["n"] = n;
+        r["mean_err"] = c.mean_err;
+        r["bytes_per_sec"] = c.bytes_per_sec;
+        r["cost"] = c.cost;
+        r["pushes"] = static_cast<double>(c.pushes);
+        r["verifications"] = static_cast<double>(c.verifications);
+        r["switches"] = static_cast<double>(c.switches);
+      }
+      table.add_row(row);
+    }
+    rdmamon::bench::show(table);
+  }
+
+  // Push headline: at the largest N and low change rate, event-driven push
+  // beats polling on freshness-per-byte, and adaptive tracks the better of
+  // the two at every point of the sweep (CI asserts <= 1.1x).
+  const std::size_t last_n = push_ns.size() - 1;
+  double worst_ratio = 0.0;
+  for (int rate = 0; rate < 2; ++rate) {
+    for (std::size_t ni = 0; ni < push_ns.size(); ++ni) {
+      const auto& cell = costs[static_cast<std::size_t>(rate)][ni];
+      const double best = std::min(cell[0], cell[1]);
+      if (best > 0.0) worst_ratio = std::max(worst_ratio, cell[2] / best);
+    }
+  }
+  const double pull_low = costs[0][last_n][0];
+  const double push_low = costs[0][last_n][1];
+  std::cout << "\nPush vs pull at N=" << push_ns[last_n]
+            << " low rate: " << rdmamon::bench::num(push_low, 1) << " vs "
+            << rdmamon::bench::num(pull_low, 1)
+            << " (acceptance: push < pull); adaptive worst ratio vs better "
+               "scheme: "
+            << rdmamon::bench::num(worst_ratio, 3)
+            << "x (acceptance: <= 1.1x)\n";
+  auto& ph = report.root()["push_headline"];
+  ph = rdmamon::util::JsonValue::object();
+  ph["n"] = push_ns[last_n];
+  ph["pull_cost_low_rate"] = pull_low;
+  ph["push_cost_low_rate"] = push_low;
+  ph["push_beats_pull"] = push_low < pull_low;
+  ph["adaptive_worst_ratio"] = worst_ratio;
+
   report.write();
   return 0;
 }

@@ -18,6 +18,9 @@ if [[ "${1:-}" == "sanitize" ]]; then
   cmake -B build-asan -S . -DRDMAMON_SANITIZE=address,undefined
   cmake --build build-asan -j "$jobs"
   ctest --test-dir build-asan --output-on-failure -j "$jobs"
+  # Cross-scheme conformance contract, named so a sanitizer hit in the
+  # push/adaptive paths is attributed to the suite that guards them.
+  ctest --test-dir build-asan -L conformance --output-on-failure -j "$jobs"
 elif [[ "${1:-}" == "bench" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target \
@@ -38,8 +41,22 @@ ratio = doc["headline"]["flatness_ratio"]
 print(f"scale-frontends flatness M=1->8: {ratio:.3f}x (acceptance 0.9..1.1)")
 assert 0.9 <= ratio <= 1.1, "per-backend probe load not flat in M"
 EOF
-  # Golden-trace replays (ctest LABELS slow): quick fig3/fig5 pinned
-  # against tests/golden/*.json.
+  # Monitoring-strategy acceptance: at the largest quick-mode N, push must
+  # beat pull on freshness-per-fabric-byte at the low change rate, and
+  # adaptive must stay within 10% of the better scheme everywhere.
+  python3 - <<'EOF'
+import json
+doc = json.load(open("bench-results/BENCH_scale_poll.json"))
+h = doc["push_headline"]
+print(f"push vs pull at N={h['n']} low rate: "
+      f"{h['push_cost_low_rate']:.1f} vs {h['pull_cost_low_rate']:.1f}")
+assert h["push_beats_pull"], "push did not beat pull at low change rate"
+print(f"adaptive worst ratio vs better scheme: "
+      f"{h['adaptive_worst_ratio']:.3f}x (acceptance <= 1.1)")
+assert h["adaptive_worst_ratio"] <= 1.1, "adaptive strayed from better scheme"
+EOF
+  # Golden-trace replays (ctest LABELS slow): quick fig3/fig5/scale_poll
+  # pinned against tests/golden/*.json.
   ctest --test-dir build -L slow --output-on-failure -j "$jobs"
 elif [[ "${1:-}" == "perf" ]]; then
   # DES-kernel perf smoke: Release build, quick bench_engine run. The
@@ -63,4 +80,6 @@ else
   cmake -B build -S .
   cmake --build build -j "$jobs"
   ctest --test-dir build --output-on-failure -j "$jobs" -LE slow
+  # Cross-scheme conformance contract, named for an explicit pass line.
+  ctest --test-dir build -L conformance --output-on-failure -j "$jobs"
 fi

@@ -66,6 +66,17 @@ void FrontendPlane::wire(sim::Duration granularity) {
   lb_.set_poll_filter([this](std::size_t b) {
     return plane_->membership().owner_of(static_cast<int>(b)) == id_;
   });
+  if (plane_->push_enabled()) {
+    // One inbox slot per back end, addressed by back-end index — every
+    // front end registers the full N slots so a shard can migrate to it
+    // without re-registration, only publisher retargeting.
+    inbox_ = std::make_unique<monitor::PushInbox>(
+        plane_->fabric(), *node_, n, plane_->config().publisher.slot_bytes);
+    lb_.enable_push(*inbox_, plane_->config().push);
+    lb_.on_mode_change([this](std::size_t b, monitor::FetchMode m) {
+      plane_->on_owner_mode(static_cast<int>(b), id_, m);
+    });
+  }
   lb_.on_round(
       [this](const std::vector<std::size_t>& targets) { on_round(targets); });
 
@@ -311,8 +322,47 @@ void ScaleOutPlane::start(sim::Duration granularity) {
   for (auto& fp : frontends_) membership_.join(fp->id(), "bootstrap");
   membership_.on_change([this] {
     for (auto& fp : frontends_) fp->on_membership_change();
+    // Publishers chase ring ownership: a shard's new owner starts
+    // receiving its back ends' pushes from their next trigger on.
+    retarget_publishers();
   });
   for (auto& fp : frontends_) fp->wire(granularity);
+  if (push_enabled()) {
+    for (auto& bm : backend_monitors_) {
+      publishers_.push_back(std::make_unique<monitor::PushPublisher>(
+          *fabric_, bm->node(), cfg_.publisher));
+    }
+    retarget_publishers();
+    for (auto& p : publishers_) p->start();
+  }
+}
+
+void ScaleOutPlane::on_owner_mode(int b, int frontend_id,
+                                  monitor::FetchMode m) {
+  if (static_cast<std::size_t>(b) >= publishers_.size()) return;
+  if (membership_.owner_of(b) != frontend_id) return;  // not the owner: stale
+  if (m == monitor::FetchMode::Pull) {
+    publishers_[static_cast<std::size_t>(b)]->pause();
+  } else {
+    publishers_[static_cast<std::size_t>(b)]->resume();
+  }
+}
+
+void ScaleOutPlane::retarget_publishers() {
+  for (std::size_t b = 0; b < publishers_.size(); ++b) {
+    const int owner = membership_.owner_of(static_cast<int>(b));
+    if (owner < 0) continue;  // empty ring: publishers keep the old aim
+    FrontendPlane& fp = frontend(owner);
+    if (fp.inbox_ == nullptr) continue;
+    publishers_[b]->target(fp.node().id, fp.inbox_->mr_key(),
+                           static_cast<int>(b));
+    // The new owner's current mode decides whether the publisher runs.
+    if (fp.lb_.fetch_mode(b) == monitor::FetchMode::Pull) {
+      publishers_[b]->pause();
+    } else {
+      publishers_[b]->resume();
+    }
+  }
 }
 
 }  // namespace rdmamon::cluster

@@ -119,6 +119,97 @@ void LoadBalancer::reset_health(std::size_t i) {
   }
 }
 
+void LoadBalancer::enable_push(monitor::PushInbox& inbox,
+                               PushPollConfig cfg) {
+  assert(inbox.slots() >= backends() &&
+         "inbox needs one slot per registered back end");
+  push_inbox_ = &inbox;
+  push_cfg_ = cfg;
+}
+
+monitor::FetchMode LoadBalancer::fetch_mode(std::size_t i) const {
+  if (push_inbox_ == nullptr ||
+      push_cfg_.strategy == monitor::MonitorStrategy::Pull) {
+    return monitor::FetchMode::Pull;
+  }
+  if (push_cfg_.strategy == monitor::MonitorStrategy::Push) {
+    return monitor::FetchMode::Push;
+  }
+  return adaptive_ ? adaptive_->mode(i) : push_cfg_.adaptive.initial;
+}
+
+std::size_t LoadBalancer::push_prepass(std::vector<std::size_t>& targets,
+                                       sim::TimePoint now) {
+  std::vector<std::size_t> pulls;
+  pulls.reserve(targets.size());
+  std::size_t scanned = 0;
+  for (std::size_t i : targets) {
+    if (fetch_mode(i) == monitor::FetchMode::Pull) {
+      pulls.push_back(i);
+      continue;
+    }
+    ++scanned;
+    monitor::MonitorSample s;
+    bool heartbeat = false;
+    const monitor::PushInbox::ScanResult r =
+        push_inbox_->scan(static_cast<int>(i), s, &heartbeat);
+    if (r == monitor::PushInbox::ScanResult::Fresh) {
+      consume_push_fresh(i, s, heartbeat);
+      continue;
+    }
+    // Empty / Unchanged / Torn / Regressed: no view update. Recent
+    // silence is neutral — a healthy back end with a flat load pushes
+    // only heartbeats, and the detector must not count the quiet rounds
+    // in between as failures. Silence past the bound means the heartbeat
+    // missed: verify with a READ through the normal channel, and let THAT
+    // outcome drive the ladder — push silence alone never kills a back
+    // end (it could be a torn slot or a lost single write).
+    if (now - push_inbox_->last_fresh(static_cast<int>(i)) >=
+        push_cfg_.silence_bound) {
+      ++push_verifications_;
+      if (reg_ != nullptr) telemetry::add(m_push_verify_);
+      pulls.push_back(i);
+    }
+  }
+  targets = std::move(pulls);
+  return scanned;
+}
+
+void LoadBalancer::consume_push_fresh(std::size_t i,
+                                      const monitor::MonitorSample& s,
+                                      bool heartbeat) {
+  ++push_fresh_;
+  if (adaptive_) adaptive_->on_push_fresh(i, heartbeat, s.staleness());
+  if (reg_ != nullptr) {
+    telemetry::add(m_push_fresh_);
+    telemetry::observe(m_push_staleness_, s.staleness());
+  }
+  apply_sample(i, s);
+}
+
+os::Program LoadBalancer::scanner_body(os::SimThread& self) {
+  for (;;) {
+    co_await os::SleepFor{push_cfg_.scan_period};
+    std::size_t scanned = 0;
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (poll_filter_ && !poll_filter_(i)) continue;  // not our shard
+      if (fetch_mode(i) != monitor::FetchMode::Push) continue;
+      ++scanned;
+      monitor::MonitorSample s;
+      bool heartbeat = false;
+      if (push_inbox_->scan(static_cast<int>(i), s, &heartbeat) ==
+          monitor::PushInbox::ScanResult::Fresh) {
+        consume_push_fresh(i, s, heartbeat);
+      }
+    }
+    if (scanned > 0) {
+      co_await os::Compute{push_cfg_.scan_cost *
+                           static_cast<std::int64_t>(scanned)};
+    }
+  }
+  (void)self;
+}
+
 std::vector<std::size_t> LoadBalancer::poll_targets(
     std::uint64_t round) const {
   const int every = health_cfg_.dead_probe_every;
@@ -140,6 +231,15 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
   // Harmless for Sequential mode: the blocking fetch path demuxes by
   // wr_id off the same CQ.
   for (auto& ch : channels_) scatter_.add(ch->frontend());
+  if (push_inbox_ != nullptr &&
+      push_cfg_.strategy == monitor::MonitorStrategy::Adaptive) {
+    // The pull side of the controller's cost model is by definition this
+    // balancer's own poll cadence.
+    push_cfg_.adaptive.pull_period = granularity;
+    adaptive_ = std::make_unique<monitor::AdaptiveController>(
+        push_cfg_.adaptive, backends());
+    for (auto& cb : mode_cbs_) adaptive_->on_switch(cb);
+  }
   reg_ = telemetry::Registry::of(frontend.simu());
   if (reg_ != nullptr) {
     // When several balancers share one registry (scale-out plane), each
@@ -164,17 +264,33 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
     m_to_healthy_ = &transition("healthy");
     m_to_suspect_ = &transition("suspect");
     m_to_dead_ = &transition("dead");
+    if (push_inbox_ != nullptr) {
+      m_push_fresh_ = &reg_->counter("lb.push.fresh", labelled({}));
+      m_push_verify_ = &reg_->counter("lb.push.verifications", labelled({}));
+      m_push_staleness_ =
+          &reg_->histogram("lb.push.staleness_ns", labelled({}));
+    }
     collector_.bind(frontend.simu(), [this, labelled](telemetry::Registry& reg) {
       reg.gauge("lb.alive_backends", labelled({}))
           .set(static_cast<double>(alive_backends()));
       reg.gauge("lb.fetch_failures", labelled({}))
           .set(static_cast<double>(fetch_failures_));
+      if (adaptive_) {
+        reg.gauge("lb.adaptive.switches", labelled({}))
+            .set(static_cast<double>(adaptive_->total_switches()));
+      }
     });
   }
   poller_thread_ =
       frontend.spawn("lb-poller", [this, granularity](os::SimThread& t) {
         return poller_body(t, granularity);
       });
+  if (push_inbox_ != nullptr &&
+      push_cfg_.strategy != monitor::MonitorStrategy::Pull &&
+      push_cfg_.scan_period.ns > 0) {
+    scanner_thread_ = frontend.spawn(
+        "lb-scanner", [this](os::SimThread& t) { return scanner_body(t); });
+  }
 }
 
 os::Program LoadBalancer::poller_body(os::SimThread& self,
@@ -189,19 +305,37 @@ os::Program LoadBalancer::poller_body(os::SimThread& self,
   // failure detector's only recovery signal — but only on the
   // dead-probe cadence, so a corpse does not cost a fetch_timeout per
   // round.
+  // With push enabled, each round starts with a free-ish local pre-pass:
+  // push-mode back ends are refreshed from their inbox slots, and only
+  // pull-mode ones plus silence verifications go to the wire.
+  sim::Simulation& simu = self.node().simu();
   for (std::uint64_t round = 0;; ++round) {
-    const std::vector<std::size_t> targets = poll_targets(round);
+    std::vector<std::size_t> targets = poll_targets(round);
+    if (push_inbox_ != nullptr) {
+      const std::size_t scanned = push_prepass(targets, simu.now());
+      if (scanned > 0) {
+        co_await os::Compute{push_cfg_.scan_cost *
+                             static_cast<std::int64_t>(scanned)};
+      }
+    }
     if (poll_mode_ == PollMode::Scatter) {
       co_await scatter_.round(self, targets, round_buf_);
-      for (std::size_t i : targets) apply_sample(i, round_buf_[i]);
+      for (std::size_t i : targets) {
+        apply_sample(i, round_buf_[i]);
+        if (adaptive_ && round_buf_[i].ok) {
+          adaptive_->on_pull_sample(i, round_buf_[i].info);
+        }
+      }
     } else {
       for (std::size_t i : targets) {
         monitor::MonitorSample s;
         co_await channels_[i]->frontend().fetch(self, s);
         apply_sample(i, s);
+        if (adaptive_ && s.ok) adaptive_->on_pull_sample(i, s.info);
       }
     }
     for (const auto& cb : round_cbs_) cb(targets);
+    if (adaptive_) adaptive_->tick(simu.now());
     co_await os::SleepFor{granularity};
   }
 }

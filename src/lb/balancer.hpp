@@ -10,6 +10,8 @@
 #include <memory>
 #include <vector>
 
+#include "monitor/adaptive.hpp"
+#include "monitor/inbox.hpp"
 #include "monitor/monitor.hpp"
 #include "monitor/scatter.hpp"
 #include "monitor/scheme.hpp"
@@ -97,6 +99,30 @@ inline const char* to_string(PollMode m) {
   return m == PollMode::Scatter ? "scatter" : "sequential";
 }
 
+/// Configuration of the push/adaptive refresh strategy (enable_push).
+struct PushPollConfig {
+  monitor::MonitorStrategy strategy = monitor::MonitorStrategy::Push;
+  /// Inbox silence that triggers a verification READ for a push-mode back
+  /// end: must exceed the publisher's max_interval (heartbeat) plus
+  /// transport and scheduling slack, or healthy back ends get needlessly
+  /// verified. Silence shorter than this is neutral — it neither feeds
+  /// nor resets the failure detector.
+  sim::Duration silence_bound = sim::msec(150);
+  /// Front-end CPU cost of scanning one inbox slot (a local memory read
+  /// plus the seqlock checks; no doorbell, no wire).
+  sim::Duration scan_cost = sim::nsec(150);
+  /// Cadence of the dedicated inbox scanner thread. The scan is a local
+  /// memory sweep, so it can run far faster than the wire poll rounds —
+  /// this is where the push scheme's freshness advantage comes from: a
+  /// pushed change reaches the view within ~scan_period instead of
+  /// waiting out the poll granularity. Zero disables the thread (slots
+  /// are then consumed only by the per-round pre-pass).
+  sim::Duration scan_period = sim::msec(5);
+  /// Controller tuning; used only when strategy == Adaptive. pull_period
+  /// is overridden with the balancer's granularity at start().
+  monitor::AdaptiveConfig adaptive;
+};
+
 /// Tracks the latest monitoring sample per back end and picks the least
 /// loaded. A poller thread on the front-end node refreshes the samples
 /// every `granularity` — through the configured scheme, so the data is
@@ -118,6 +144,41 @@ class LoadBalancer {
   /// Selects the poll strategy (default Scatter). Call before start().
   void set_poll_mode(PollMode m) { poll_mode_ = m; }
   PollMode poll_mode() const { return poll_mode_; }
+
+  // --- push / adaptive strategy (monitor/inbox.hpp) ------------------------
+  /// Enables the push-based refresh path: back end i's publisher targets
+  /// slot i of `inbox` (which must have >= backends() slots and belong to
+  /// the front-end node passed to start()). Push-mode back ends are
+  /// refreshed by scanning their slot; a slot silent beyond
+  /// cfg.silence_bound falls back to a verification READ through the
+  /// back end's normal channel, and only that fetch's outcome drives the
+  /// health ladder. Strategy Adaptive instantiates the per-backend
+  /// controller at start(). Call after add_backend, before start();
+  /// `inbox` must outlive the balancer.
+  void enable_push(monitor::PushInbox& inbox, PushPollConfig cfg);
+
+  /// Refresh mode of back end `i` this round (Pull when push is disabled
+  /// or the adaptive controller says so).
+  monitor::FetchMode fetch_mode(std::size_t i) const;
+
+  /// Observer of adaptive mode switches (strategy Adaptive only; runs
+  /// inside the poller). The wiring layer uses this to pause a back
+  /// end's publisher while it is pull-mode and resume it on the way
+  /// back. Call before start().
+  void on_mode_change(std::function<void(std::size_t, monitor::FetchMode)> cb) {
+    mode_cbs_.push_back(std::move(cb));
+  }
+
+  /// The adaptive controller (null unless strategy == Adaptive and
+  /// start() has run).
+  const monitor::AdaptiveController* adaptive() const {
+    return adaptive_.get();
+  }
+  monitor::PushInbox* push_inbox() { return push_inbox_; }
+
+  /// Fresh inbox images applied / verification READs triggered by silence.
+  std::uint64_t push_fresh() const { return push_fresh_; }
+  std::uint64_t push_verifications() const { return push_verifications_; }
 
   // --- scale-out hooks (src/cluster) ---------------------------------------
   /// Restricts the poller to back ends the predicate accepts — the
@@ -208,6 +269,22 @@ class LoadBalancer {
   };
 
   os::Program poller_body(os::SimThread& self, sim::Duration granularity);
+  /// Push-strategy pre-pass of one round: scans the inbox slots of
+  /// push-mode targets, applies Fresh images, and rewrites `targets` to
+  /// the subset still needing a wire fetch (pull-mode + silence
+  /// verifications). Returns the number of slots scanned (CPU cost is
+  /// charged by the caller).
+  std::size_t push_prepass(std::vector<std::size_t>& targets,
+                           sim::TimePoint now);
+  /// Dedicated inbox scanner (push_cfg_.scan_period > 0): sweeps every
+  /// push-mode slot far more often than the wire polls run, so pushed
+  /// changes reach the view at memory-read latency. Verification and the
+  /// failure ladder stay with the per-round pre-pass.
+  os::Program scanner_body(os::SimThread& self);
+  /// Consumes one Fresh scan result: counters, adaptive evidence,
+  /// telemetry, then apply_sample. Shared by pre-pass and scanner.
+  void consume_push_fresh(std::size_t i, const monitor::MonitorSample& s,
+                          bool heartbeat);
   void record_fetch(std::size_t i, bool ok);
   void apply_sample(std::size_t i, const monitor::MonitorSample& s,
                     bool local = true);
@@ -223,6 +300,7 @@ class LoadBalancer {
       round_cbs_;
   std::string telemetry_instance_;  ///< "" = unlabelled instruments
   os::SimThread* poller_thread_ = nullptr;
+  os::SimThread* scanner_thread_ = nullptr;
   std::vector<std::unique_ptr<monitor::MonitorChannel>> channels_;
   std::vector<monitor::MonitorSample> samples_;
   std::vector<Health> health_;
@@ -232,6 +310,13 @@ class LoadBalancer {
   sim::OnlineStats fetch_lat_;
   monitor::ScatterFetcher scatter_;  ///< joined at start()
   std::vector<monitor::MonitorSample> round_buf_;
+  // Push / adaptive strategy state (enable_push).
+  monitor::PushInbox* push_inbox_ = nullptr;  ///< not owned
+  PushPollConfig push_cfg_;
+  std::unique_ptr<monitor::AdaptiveController> adaptive_;
+  std::vector<std::function<void(std::size_t, monitor::FetchMode)>> mode_cbs_;
+  std::uint64_t push_fresh_ = 0;
+  std::uint64_t push_verifications_ = 0;
   // Telemetry instruments, resolved in start() (null when disabled / no
   // registry installed on the front end's simulation).
   telemetry::Registry* reg_ = nullptr;
@@ -240,6 +325,9 @@ class LoadBalancer {
   telemetry::Counter* m_to_healthy_ = nullptr;
   telemetry::Counter* m_to_suspect_ = nullptr;
   telemetry::Counter* m_to_dead_ = nullptr;
+  telemetry::Counter* m_push_fresh_ = nullptr;
+  telemetry::Counter* m_push_verify_ = nullptr;
+  telemetry::HistogramMetric* m_push_staleness_ = nullptr;
   telemetry::ScopedCollector collector_;  ///< alive count + failure total
 };
 

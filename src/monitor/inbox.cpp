@@ -1,0 +1,200 @@
+#include "monitor/inbox.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdmamon::monitor {
+
+double change_delta(const os::LoadSnapshot& a, const os::LoadSnapshot& b) {
+  // Same capacities the balancer's load index normalises with: a delta of
+  // 0.05 here moves the index by at most ~0.05 — the threshold is in
+  // "index units" on both sides of the wire.
+  constexpr double kNetCapacity = 1.25e9;
+  constexpr double kConnCapacity = 128.0;
+  constexpr double kRunqCapacity = 8.0;
+  double d = std::abs(a.cpu_load - b.cpu_load);
+  d = std::max(d, std::abs(a.mem_load - b.mem_load));
+  d = std::max(d, std::abs(a.net_rate - b.net_rate) / kNetCapacity);
+  d = std::max(d, std::abs(static_cast<double>(a.connections - b.connections)) /
+                      kConnCapacity);
+  d = std::max(d, std::abs(static_cast<double>(a.nr_running - b.nr_running)) /
+                      kRunqCapacity);
+  return d;
+}
+
+// --- PushInbox ----------------------------------------------------------------
+
+PushInbox::PushInbox(net::Fabric& fabric, os::Node& frontend, int slots,
+                     std::size_t slot_bytes)
+    : frontend_(&frontend),
+      nic_(&fabric.nic(frontend.id)),
+      slot_bytes_(slot_bytes),
+      slots_(static_cast<std::size_t>(slots)),
+      consumed_(static_cast<std::size_t>(slots), 0),
+      last_fresh_(static_cast<std::size_t>(slots),
+                  fabric.simu().now()) {
+  // One region for all N slots; the writer overwrites the addressed slot
+  // blindly (raw-memory WRITE semantics — no validation at the target).
+  key_ = nic_->register_mr(
+      slot_bytes_ * static_cast<std::size_t>(slots),
+      /*reader=*/nullptr,
+      /*remote_writable=*/true, [this](const std::any& v) {
+        const auto& w = std::any_cast<const InboxWrite&>(v);
+        if (w.slot < 0 || w.slot >= this->slots()) return;  // out of bounds: dropped
+        slots_[static_cast<std::size_t>(w.slot)] = w.value;
+        ++writes_applied_;
+      });
+}
+
+const char* PushInbox::to_string(ScanResult r) {
+  switch (r) {
+    case ScanResult::Empty: return "empty";
+    case ScanResult::Unchanged: return "unchanged";
+    case ScanResult::Fresh: return "fresh";
+    case ScanResult::Torn: return "torn";
+    case ScanResult::Regressed: return "regressed";
+  }
+  return "?";
+}
+
+PushInbox::ScanResult PushInbox::scan(int i, MonitorSample& out,
+                                      bool* heartbeat) {
+  const auto idx = static_cast<std::size_t>(i);
+  const InboxSlot& s = slots_[idx];
+  if (s.seq == 0 && s.seq_check == 0) return ScanResult::Empty;
+  if (s.seq != s.seq_check) {
+    // Seqlock mismatch: the image is half of one write and half of
+    // another. Never consume it — and do not advance the consumed
+    // sequence, so the completing write is still picked up next scan.
+    ++torn_;
+    return ScanResult::Torn;
+  }
+  if (s.seq < consumed_[idx]) {
+    // A write from the past landed after a newer one was consumed
+    // (replay/reorder). Consuming it would make the view travel back in
+    // time; the consumed watermark makes this impossible by construction.
+    ++regressed_;
+    return ScanResult::Regressed;
+  }
+  if (s.seq == consumed_[idx]) return ScanResult::Unchanged;
+  consumed_[idx] = s.seq;
+  const sim::TimePoint now = frontend_->simu().now();
+  last_fresh_[idx] = now;
+  ++fresh_;
+  out = MonitorSample{};
+  out.info = s.info;
+  out.requested_at = now;  // a scan has no request phase
+  out.retrieved_at = now;
+  out.ok = true;
+  out.error = FetchError::None;
+  out.attempts = 1;
+  if (heartbeat != nullptr) *heartbeat = s.heartbeat;
+  return ScanResult::Fresh;
+}
+
+void PushInbox::deregister() {
+  if (deregistered_) return;
+  nic_->deregister_mr(key_);
+  deregistered_ = true;
+}
+
+// --- PushPublisher ------------------------------------------------------------
+
+PushPublisher::PushPublisher(net::Fabric& fabric, os::Node& backend,
+                             PushConfig cfg)
+    : fabric_(&fabric), backend_(&backend), cfg_(cfg) {}
+
+void PushPublisher::target(int frontend_node, net::MrKey inbox_key,
+                           int slot) {
+  if (frontend_node == target_node_ && inbox_key.key == inbox_key_.key &&
+      slot == slot_) {
+    return;  // same target: keep the baseline, no gratuitous re-push
+  }
+  if (target_node_ >= 0) ++retargets_;
+  target_node_ = frontend_node;
+  inbox_key_ = inbox_key;
+  slot_ = slot;
+  // A new owner starts from an empty slot: drop the baseline so the next
+  // decision pushes unconditionally instead of waiting for a change or
+  // the heartbeat. A WRITE still in flight to the old owner completes
+  // into the same CQ and is reaped normally.
+  has_baseline_ = false;
+  if (!qp_ || qp_->remote_node() != frontend_node) {
+    qp_.emplace(fabric_->nic(backend_->id), frontend_node, cq_);
+  }
+}
+
+void PushPublisher::start() {
+  if (thread_ != nullptr) return;
+  // Kernel thread: the reporter models an in-kernel module (like the
+  // registered-MR side of the pull schemes), so it is excluded from the
+  // user nr_running it reports — otherwise every wakeup of the reporter
+  // flips the run-queue signal by one and the monitor mostly measures
+  // itself. Its collection time still shows up in cpu_load as kernel
+  // busy, which is the honest part of the overhead.
+  thread_ = backend_->spawn(
+      "push-pub", [this](os::SimThread& t) { return body(t); },
+      {.kernel_thread = true});
+}
+
+void PushPublisher::stop() {
+  if (thread_ == nullptr) return;
+  backend_->sched().kill(thread_);
+  thread_ = nullptr;
+}
+
+os::Program PushPublisher::body(os::SimThread& self) {
+  sim::Simulation& simu = backend_->simu();
+  for (;;) {
+    co_await os::SleepFor{cfg_.check_period};
+    // Reap completions first (free, like any CQ poll). An error clears
+    // the change baseline: whatever we thought the front end knows, it
+    // may not, so the next decision pushes unconditionally — the push
+    // scheme's analogue of the pull path's bounded retry.
+    while (!cq_.empty()) {
+      net::Completion c = cq_.pop();
+      in_flight_ = false;
+      if (c.status != net::WcStatus::Success) {
+        ++errors_;
+        if (c.status == net::WcStatus::InvalidKey) ++invalid_key_;
+        has_baseline_ = false;
+      }
+    }
+    if (target_node_ < 0 || in_flight_ || paused_) continue;
+    // Collecting the snapshot walks the same task lists the /proc read
+    // does; running in-kernel skips the trap but not the walk, so the
+    // full read cost is charged (as kernel time).
+    co_await os::ComputeKernel{backend_->procfs().read_cost()};
+    const os::LoadSnapshot snap = backend_->procfs().snapshot();
+    const sim::TimePoint now = simu.now();
+    const bool heartbeat_due =
+        !has_pushed_ || now - last_push_ >= cfg_.max_interval;
+    const bool changed =
+        !has_baseline_ ||
+        change_delta(snap, baseline_) >= cfg_.change_threshold;
+    const bool min_ok =
+        !has_pushed_ || now - last_push_ >= cfg_.min_interval;
+    const bool change_push = changed && min_ok;
+    if (!change_push && !heartbeat_due) continue;
+    ++seq_;
+    InboxSlot image;
+    image.seq = seq_;
+    image.info = snap;
+    image.pushed_at = now;
+    image.heartbeat = !change_push;
+    image.seq_check = seq_;
+    co_await os::Compute{net::kDoorbellCost};
+    qp_->post_write(inbox_key_, std::any(InboxWrite{slot_, image}),
+                    cfg_.slot_bytes, cq_.alloc_wr_id());
+    in_flight_ = true;
+    has_pushed_ = true;
+    last_push_ = now;
+    baseline_ = snap;
+    has_baseline_ = true;
+    ++pushes_;
+    if (image.heartbeat) ++heartbeats_;
+  }
+  (void)self;
+}
+
+}  // namespace rdmamon::monitor

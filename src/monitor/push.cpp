@@ -6,13 +6,13 @@
 
 namespace rdmamon::monitor {
 
-PushSubscriber::PushSubscriber(os::Node& frontend, net::Socket& rx_end) {
+MulticastSubscriber::MulticastSubscriber(os::Node& frontend, net::Socket& rx_end) {
   frontend.spawn("push-sub", [this, sock = &rx_end](os::SimThread& t) {
     return rx_body(t, sock);
   });
 }
 
-MonitorSample PushSubscriber::last(sim::TimePoint now) const {
+MonitorSample MulticastSubscriber::last(sim::TimePoint now) const {
   MonitorSample s;
   s.info = info_;
   s.ok = has_;
@@ -23,7 +23,7 @@ MonitorSample PushSubscriber::last(sim::TimePoint now) const {
   return s;
 }
 
-os::Program PushSubscriber::rx_body(os::SimThread& self, net::Socket* sock) {
+os::Program MulticastSubscriber::rx_body(os::SimThread& self, net::Socket* sock) {
   for (;;) {
     net::Message m;
     co_await sock->recv(self, m);
@@ -34,24 +34,24 @@ os::Program PushSubscriber::rx_body(os::SimThread& self, net::Socket* sock) {
   }
 }
 
-PushPublisher::PushPublisher(net::Fabric& fabric, os::Node& backend,
-                             PushConfig cfg)
+MulticastPublisher::MulticastPublisher(net::Fabric& fabric, os::Node& backend,
+                             MulticastConfig cfg)
     : fabric_(&fabric), backend_(&backend), cfg_(cfg) {}
 
-PushSubscriber& PushPublisher::subscribe(os::Node& frontend) {
+MulticastSubscriber& MulticastPublisher::subscribe(os::Node& frontend) {
   net::Connection& conn = fabric_->connect(*backend_, frontend);
   subscriber_ends_.push_back(&conn.end_a());
   subscribers_.push_back(
-      std::make_unique<PushSubscriber>(frontend, conn.end_b()));
+      std::make_unique<MulticastSubscriber>(frontend, conn.end_b()));
   return *subscribers_.back();
 }
 
-void PushPublisher::start() {
+void MulticastPublisher::start() {
   backend_->spawn("push-pub",
                   [this](os::SimThread& t) { return publisher_body(t); });
 }
 
-os::Program PushPublisher::publisher_body(os::SimThread& self) {
+os::Program MulticastPublisher::publisher_body(os::SimThread& self) {
   for (;;) {
     co_await os::ComputeKernel{backend_->procfs().read_cost()};
     const os::LoadSnapshot snap = backend_->procfs().snapshot();

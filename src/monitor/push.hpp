@@ -5,6 +5,10 @@
 // solutions are not completely one-sided, removing some of the benefits of
 // our design". Implemented here to quantify that trade-off (see
 // bench_ablation).
+//
+// Distinct from the one-sided RDMA-WRITE push scheme (monitor/inbox.hpp):
+// that one keeps the receive side passive (the back end DMA-writes into a
+// front-end-registered inbox slot), so only the *sender* needs a thread.
 #pragma once
 
 #include <memory>
@@ -17,7 +21,7 @@
 
 namespace rdmamon::monitor {
 
-struct PushConfig {
+struct MulticastConfig {
   /// Push period (the multicast analogue of the async schemes' T).
   sim::Duration period = sim::msec(50);
   std::size_t packet_bytes = 256;
@@ -26,9 +30,9 @@ struct PushConfig {
 /// Front-end side: keeps the last pushed snapshot; reading it is free and
 /// instantaneous (it is already local), but its age is bounded only by the
 /// push period plus transport and scheduling delays on BOTH sides.
-class PushSubscriber {
+class MulticastSubscriber {
  public:
-  PushSubscriber(os::Node& frontend, net::Socket& rx_end);
+  MulticastSubscriber(os::Node& frontend, net::Socket& rx_end);
 
   bool has_data() const { return has_; }
   /// Last received snapshot, stamped with its local arrival time.
@@ -46,12 +50,13 @@ class PushSubscriber {
 
 /// Back-end side: a daemon thread reads /proc every period and multicasts
 /// the snapshot to all subscribers in one NIC transmit.
-class PushPublisher {
+class MulticastPublisher {
  public:
-  PushPublisher(net::Fabric& fabric, os::Node& backend, PushConfig cfg);
+  MulticastPublisher(net::Fabric& fabric, os::Node& backend,
+                     MulticastConfig cfg);
 
   /// Subscribes a front end; returns its subscriber handle.
-  PushSubscriber& subscribe(os::Node& frontend);
+  MulticastSubscriber& subscribe(os::Node& frontend);
 
   /// Spawns the publisher daemon. Call after all subscriptions.
   void start();
@@ -64,9 +69,9 @@ class PushPublisher {
 
   net::Fabric* fabric_;
   os::Node* backend_;
-  PushConfig cfg_;
+  MulticastConfig cfg_;
   std::vector<net::Socket*> subscriber_ends_;  // backend-side endpoints
-  std::vector<std::unique_ptr<PushSubscriber>> subscribers_;
+  std::vector<std::unique_ptr<MulticastSubscriber>> subscribers_;
   std::uint64_t pushes_ = 0;
 };
 

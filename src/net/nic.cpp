@@ -19,6 +19,8 @@ Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {
         .set(static_cast<double>(rdma_served_));
     reg.gauge("net.nic.rdma_posted", by_node)
         .set(static_cast<double>(rdma_posted_));
+    reg.gauge("net.nic.rdma_wire_bytes", by_node)
+        .set(static_cast<double>(rdma_wire_bytes_));
   });
 }
 
@@ -109,12 +111,15 @@ MrKey Nic::register_mr(std::size_t bytes, std::function<std::any()> reader,
   return key;
 }
 
+bool Nic::deregister_mr(MrKey key) { return regions_.erase(key.key) > 0; }
+
 void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
                     std::uint64_t wr_id,
                     std::function<void(Completion)> done) {
   ++rdma_posted_;
   sim::Simulation& simu = fabric_.simu();
   const FabricConfig& cfg = fabric_.config();
+  rdma_wire_bytes_ += cfg.rdma_request_bytes + len;
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();
@@ -143,7 +148,6 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
       fail_after_retries(fabric_, std::move(c), std::move(done));
       return;
     }
-    auto it = target.regions_.find(rkey.key);
     // DMA engine serialisation at the target NIC.
     const sim::TimePoint start =
         target.dma_busy_ > s.now() ? target.dma_busy_ : s.now();
@@ -152,9 +156,13 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
         sim::nsec(static_cast<std::int64_t>(
             static_cast<double>(len) * fc.rdma_dma_per_byte_ns));
     target.dma_busy_ = start + service;
-    s.at(target.dma_busy_, [&target, this, it, len, c,
+    s.at(target.dma_busy_, [&target, this, rkey, len, c,
                             done = std::move(done)]() mutable {
       ++target.rdma_served_;
+      // Resolve the rkey only now: a region deregistered while the request
+      // was on the wire (or queued behind the DMA engine) must fail with
+      // InvalidKey, exactly like a write — never read through a stale entry.
+      auto it = target.regions_.find(rkey.key);
       if (it == target.regions_.end()) {
         c.status = WcStatus::InvalidKey;
       } else if (it->second.reader) {
@@ -187,6 +195,7 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
   ++rdma_posted_;
   sim::Simulation& simu = fabric_.simu();
   const FabricConfig& cfg = fabric_.config();
+  rdma_wire_bytes_ += 2 * cfg.rdma_request_bytes + len;
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();

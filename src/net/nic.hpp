@@ -47,6 +47,12 @@ class Nic {
                     bool remote_writable = false,
                     std::function<void(const std::any&)> writer = nullptr);
 
+  /// Invalidates an rkey. In-flight ops that reach the DMA engine after the
+  /// deregistration complete with InvalidKey — the rkey is resolved at the
+  /// DMA instant, never cached across the wire delay. Returns false if the
+  /// key was unknown (double-dereg is a caller bug but must not crash).
+  bool deregister_mr(MrKey key);
+
   /// Initiator-side one-sided READ: request packet to the target NIC, DMA
   /// service there (no target CPU), response back, then `done` runs at the
   /// initiator with the completion.
@@ -65,6 +71,12 @@ class Nic {
   std::uint64_t rx_deferred() const { return rx_deferred_; }
   std::uint64_t rdma_ops_served() const { return rdma_served_; }
   std::uint64_t rdma_ops_posted() const { return rdma_posted_; }
+  /// Wire bytes of one-sided ops THIS node initiated (request + payload +
+  /// ack/response), charged at post time — retried-and-failed ops consumed
+  /// the fabric too. The freshness-per-fabric-byte analyses read this:
+  /// front-end NICs accumulate pull (READ) bytes, back-end NICs push
+  /// (WRITE) bytes.
+  std::uint64_t rdma_wire_bytes() const { return rdma_wire_bytes_; }
 
  private:
   friend class Fabric;
@@ -84,6 +96,7 @@ class Nic {
   std::uint64_t rx_deferred_ = 0;
   std::uint64_t rdma_served_ = 0;
   std::uint64_t rdma_posted_ = 0;
+  std::uint64_t rdma_wire_bytes_ = 0;
   /// Publishes the counters above as gauges at snapshot time, so the
   /// hot packet paths need no extra bookkeeping.
   telemetry::ScopedCollector collector_;

@@ -6,8 +6,9 @@ set -euo pipefail
 cd "$(dirname "$0")/../.."
 build="${1:-build}"
 
-cmake --build "$build" --target bench_fig3_latency bench_fig5_accuracy
-for b in fig3_latency fig5_accuracy; do
+cmake --build "$build" --target bench_fig3_latency bench_fig5_accuracy \
+  bench_scale_poll
+for b in fig3_latency fig5_accuracy scale_poll; do
   RDMAMON_BENCH_DIR=tests/golden "./$build/bench/bench_$b" --quick >/dev/null
   echo "regenerated tests/golden/BENCH_$b.json"
 done

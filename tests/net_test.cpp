@@ -197,6 +197,80 @@ TEST(Rdma, WriteToWritableRegionApplies) {
   EXPECT_EQ(value, 99);
 }
 
+TEST(Rdma, WriteCompletesInvalidKeyWhenTargetMrDereggedMidFlight) {
+  // The push plane's shutdown race: a WRITE is posted, then the target
+  // inbox MR is torn down before the DMA instant. The rkey must be
+  // resolved when the DMA lands, not when the WR was posted — the writer
+  // gets InvalidKey and the (dead) region is never mutated.
+  TwoNodes env;
+  int value = 1;
+  MrKey key = env.fabric.nic(1).register_mr(
+      64, [&] { return std::any(value); },
+      /*remote_writable=*/true,
+      [&](const std::any& v) { value = std::any_cast<int>(v); });
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  const std::uint64_t wr = cq.alloc_wr_id();
+  qp.post_write(key, std::any(99), 64, wr);
+  ASSERT_TRUE(env.fabric.nic(1).deregister_mr(key));  // before the DMA lands
+  env.simu.run_for(msec(10));
+  Completion out;
+  ASSERT_TRUE(cq.try_pop(wr, out));
+  EXPECT_EQ(out.status, WcStatus::InvalidKey);
+  EXPECT_EQ(value, 1);  // the dead region was never written
+}
+
+TEST(Rdma, ForgottenWriteCompletionIsDroppedAsStale) {
+  // A consumer that gives up on a WRITE WR (publisher retarget, shutdown)
+  // calls forget(); the late completion must be swallowed by the CQ, not
+  // delivered to whoever reuses the id space. Previously only READ WRs
+  // exercised this path.
+  TwoNodes env;
+  int value = 1;
+  MrKey key = env.fabric.nic(1).register_mr(
+      64, [&] { return std::any(value); },
+      /*remote_writable=*/true,
+      [&](const std::any& v) { value = std::any_cast<int>(v); });
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  const std::uint64_t wr = cq.alloc_wr_id();
+  qp.post_write(key, std::any(42), 64, wr);
+  cq.forget(wr);  // abandon before the completion arrives
+  env.simu.run_for(msec(10));
+  Completion out;
+  EXPECT_FALSE(cq.try_pop(wr, out));  // never delivered
+  EXPECT_EQ(cq.forgets(), 1u);
+  EXPECT_EQ(cq.stale_dropped(), 1u);
+  EXPECT_EQ(value, 42);  // the WRITE itself still landed — only the
+                         // completion was abandoned, not the data
+}
+
+TEST(Rdma, ForgetAfterDeliveryIsNotStale) {
+  // forget() on a WR whose completion was already popped must not count
+  // future completions of OTHER WRs as stale (id-keyed, not positional).
+  TwoNodes env;
+  int value = 0;
+  MrKey key = env.fabric.nic(1).register_mr(
+      64, [&] { return std::any(value); },
+      /*remote_writable=*/true,
+      [&](const std::any& v) { value = std::any_cast<int>(v); });
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  const std::uint64_t w1 = cq.alloc_wr_id();
+  qp.post_write(key, std::any(1), 64, w1);
+  env.simu.run_for(msec(5));
+  Completion out;
+  ASSERT_TRUE(cq.try_pop(w1, out));
+  EXPECT_EQ(out.status, WcStatus::Success);
+  cq.forget(w1);  // late forget of an already-delivered WR: harmless
+  const std::uint64_t w2 = cq.alloc_wr_id();
+  qp.post_write(key, std::any(2), 64, w2);
+  env.simu.run_for(msec(5));
+  ASSERT_TRUE(cq.try_pop(w2, out));  // w2 must still be delivered
+  EXPECT_EQ(out.status, WcStatus::Success);
+  EXPECT_EQ(value, 2);
+}
+
 TEST(Rdma, InvalidKeyCompletesWithError) {
   TwoNodes env;
   CompletionQueue cq;

@@ -146,11 +146,11 @@ TEST(Push, SubscribersReceivePeriodicUpdates) {
   fabric.attach(fe1);
   fabric.attach(fe2);
 
-  PushConfig cfg;
+  MulticastConfig cfg;
   cfg.period = msec(50);
-  PushPublisher pub(fabric, backend, cfg);
-  PushSubscriber& s1 = pub.subscribe(fe1);
-  PushSubscriber& s2 = pub.subscribe(fe2);
+  MulticastPublisher pub(fabric, backend, cfg);
+  MulticastSubscriber& s1 = pub.subscribe(fe1);
+  MulticastSubscriber& s2 = pub.subscribe(fe2);
   pub.start();
 
   simu.run_for(seconds(1));
@@ -173,7 +173,7 @@ TEST(Push, RequiresABackendDaemonUnlikeRdmaSync) {
   os::Node fe(simu, {.name = "fe"});
   fabric.attach(backend);
   fabric.attach(fe);
-  PushPublisher pub(fabric, backend, {});
+  MulticastPublisher pub(fabric, backend, {});
   pub.subscribe(fe);
   pub.start();
   simu.run_for(msec(100));
