@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
       "Ablations", "Design-choice ablations from DESIGN.md",
       "push-vs-pull (Section 6), index freshness, granularity vs accuracy");
   rdmamon::bench::JsonReport report("ablation");
-  report.set("quick", opts.quick);
+  report.stamp(opts.quick, opts.seed);
   ablation_push_vs_pull(opts.quick, report);
   ablation_runq_weight(opts.quick, report);
   ablation_granularity_accuracy(opts.quick, report);

@@ -321,7 +321,7 @@ int main(int argc, char** argv) {
   };
 
   JsonReport report("engine");
-  report.set("quick", util::JsonValue(quick));
+  report.stamp(quick, /*seed=*/0);  // wall-clock bench: no simulated RNG
   for (const Row& row : rows) {
     auto& j = report.add_result();
     j["workload"] = row.workload;

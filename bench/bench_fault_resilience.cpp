@@ -145,7 +145,7 @@ int main(int argc, char** argv) {
       opts.quick ? sim::msec(500) : sim::seconds(2);
 
   rdmamon::bench::JsonReport report("fault_resilience");
-  report.set("quick", opts.quick);
+  report.stamp(opts.quick, opts.seed);
   report.set("phase_seconds", phase_len.seconds());
 
   util::Table table;

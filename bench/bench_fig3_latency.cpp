@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
       opts.quick ? sim::seconds(3) : sim::seconds(8);
 
   rdmamon::bench::JsonReport report("fig3_latency");
-  report.set("quick", opts.quick);
+  report.stamp(opts.quick, opts.seed);
   report.set("run_seconds", run.seconds());
 
   rdmamon::util::Table table;

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
   const sim::Duration run = opts.quick ? sim::seconds(4) : sim::seconds(10);
 
   rdmamon::bench::JsonReport report("fig4_granularity");
-  report.set("quick", opts.quick);
+  report.stamp(opts.quick, opts.seed);
 
   rdmamon::util::Table table;
   std::vector<std::string> header = {"granularity (ms)"};

@@ -123,8 +123,7 @@ int main(int argc, char** argv) {
   const sim::Duration run = opts.quick ? sim::seconds(4) : sim::seconds(10);
 
   rdmamon::bench::JsonReport report("fig5_accuracy");
-  report.set("quick", opts.quick);
-  report.set("seed", opts.seed);
+  report.stamp(opts.quick, opts.seed);
 
   std::vector<std::string> labels;
   for (int c : clients) labels.push_back(std::to_string(c));

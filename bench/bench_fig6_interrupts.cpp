@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   const sim::Duration run = opts.quick ? sim::seconds(4) : sim::seconds(15);
 
   rdmamon::bench::JsonReport report("fig6_interrupts");
-  report.set("quick", opts.quick);
+  report.stamp(opts.quick, opts.seed);
 
   rdmamon::util::Table table;
   table.set_header({"scheme", "samples", "CPU0 nonzero", "CPU1 nonzero",

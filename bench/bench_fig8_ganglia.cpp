@@ -102,8 +102,7 @@ int main(int argc, char** argv) {
   for (int t : thresholds_ms) labels.push_back(std::to_string(t));
 
   rdmamon::bench::JsonReport report("fig8_ganglia");
-  report.set("quick", opts.quick);
-  report.set("seed", opts.seed);
+  report.stamp(opts.quick, opts.seed);
 
   rdmamon::util::Table ta, tb, ma, mb;
   std::vector<std::string> header = {"scheme \\ threshold (ms)"};

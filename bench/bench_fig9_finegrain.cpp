@@ -27,8 +27,7 @@ int main(int argc, char** argv) {
   base.warmup = opts.quick ? sim::seconds(2) : sim::seconds(4);
 
   bench::JsonReport report("fig9_finegrain");
-  report.set("quick", opts.quick);
-  report.set("seed", opts.seed);
+  report.stamp(opts.quick, opts.seed);
 
   util::Table table;
   std::vector<std::string> header = {"scheme \\ granularity (ms)"};

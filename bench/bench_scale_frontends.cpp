@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
       "the rounds); gossip READ traffic is the only cost of scale-out");
 
   rdmamon::bench::JsonReport report("scale_frontends");
-  report.set("quick", opt.quick);
+  report.stamp(opt.quick, opt.seed);
   report.set("run_seconds", static_cast<double>(run.ns) / 1e9);
 
   double rate_m1_largest = 0.0, rate_m8_largest = 0.0;

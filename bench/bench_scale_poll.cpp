@@ -234,7 +234,7 @@ int main(int argc, char** argv) {
       "a sequential sweep (and any two-sided scheme) pays per back end");
 
   rdmamon::bench::JsonReport report("scale_poll");
-  report.set("quick", opt.quick);
+  report.stamp(opt.quick, opt.seed);
   report.set("rounds", rounds);
 
   for (const bool scatter_mode : {false, true}) {

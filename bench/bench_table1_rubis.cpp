@@ -97,8 +97,7 @@ int main(int argc, char** argv) {
   print_table("Maximum response time", true);
 
   rdmamon::bench::JsonReport report("table1_rubis");
-  report.set("quick", opts.quick);
-  report.set("seed", opts.seed);
+  report.stamp(opts.quick, opts.seed);
   for (std::size_t i = 0; i < monitor::kAllSchemes.size(); ++i) {
     for (int q = 0; q < workload::kRubisQueryCount; ++q) {
       const ClassTimes& ct = results[i][static_cast<std::size_t>(q)];

@@ -9,6 +9,7 @@
 //     ... bench-specific extras ... }
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -25,10 +26,25 @@ namespace rdmamon::bench {
 /// RDMAMON_BENCH_DIR is set.
 class JsonReport {
  public:
-  explicit JsonReport(std::string name) : name_(std::move(name)) {
+  /// Bump when the report layout changes shape (new top-level metadata,
+  /// renamed conventional fields) so trajectory tooling can dispatch.
+  static constexpr int kSchemaVersion = 2;
+
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)),
+        started_(std::chrono::steady_clock::now()) {
     root_ = util::JsonValue::object();
     root_["name"] = name_;
+    root_["schema_version"] = kSchemaVersion;
     root_["results"] = util::JsonValue::array();
+  }
+
+  /// Run provenance (every bench calls this right after parse_args):
+  /// which mode and seed produced these numbers — without it the perf
+  /// trajectory across PRs is guesswork.
+  void stamp(bool quick, std::uint64_t seed) {
+    root_["quick"] = quick;
+    root_["seed"] = seed;
   }
 
   util::JsonValue& root() { return root_; }
@@ -51,7 +67,16 @@ class JsonReport {
   }
 
   /// Writes the document; prints where it went (or why it could not).
-  bool write() const {
+  /// Adds the wall-clock metadata at the last moment so it covers the
+  /// whole run (golden-trace checks treat these keys as volatile).
+  bool write() {
+    using namespace std::chrono;
+    root_["wall_ms"] = static_cast<double>(
+        duration_cast<microseconds>(steady_clock::now() - started_).count()) /
+        1000.0;
+    root_["generated_unix_ms"] = static_cast<std::int64_t>(
+        duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+            .count());
     const std::string path = filename();
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -67,6 +92,7 @@ class JsonReport {
 
  private:
   std::string name_;
+  std::chrono::steady_clock::time_point started_;
   util::JsonValue root_;
 };
 

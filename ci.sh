@@ -5,6 +5,7 @@
 #   ./ci.sh sanitize   # ASan/UBSan build + FULL ctest incl. slow (slower)
 #   ./ci.sh bench      # quick benches + BENCH_*.json checks + golden traces
 #   ./ci.sh perf       # Release build, DES-kernel perf smoke (bench_engine)
+#   ./ci.sh slo        # freshness plane only: ctest -L slo + bench_freshness
 #
 # Tests carrying ctest LABELS slow (golden-trace bench replays) are kept
 # out of tier-1 to hold its wall-clock; they run in the sanitize and
@@ -58,6 +59,27 @@ EOF
   # Golden-trace replays (ctest LABELS slow): quick fig3/fig5/scale_poll
   # pinned against tests/golden/*.json.
   ctest --test-dir build -L slow --output-on-failure -j "$jobs"
+elif [[ "${1:-}" == "slo" ]]; then
+  # Freshness-plane smoke: the staleness SLO / flight recorder / alarm-MR
+  # surface (ctest LABELS slo) plus the information-age bench. Fast enough
+  # to run on every edit of src/telemetry/ or src/monitor/alarm*.
+  cmake -B build -S .
+  cmake --build build -j "$jobs" --target test_slo bench_freshness
+  mkdir -p build/flight-dumps bench-results
+  RDMAMON_FLIGHT_DIR=build/flight-dumps \
+    ctest --test-dir build -L slo --output-on-failure -j "$jobs"
+  RDMAMON_BENCH_DIR=bench-results ./build/bench/bench_freshness --quick
+  python3 - <<'EOF'
+import json
+doc = json.load(open("bench-results/BENCH_freshness.json"))
+oh = doc["recorder_overhead"]
+print(f"recorder overhead: {oh['recorder_delta_pct']:.2f}% "
+      "(budget <= 1% of wall)")
+assert oh["ages_match"], "recorder toggle changed the simulated ages"
+for row in doc["results"]:
+    assert row["age_p99_us"] >= row["age_p50_us"] > 0, row
+print("BENCH_freshness.json: valid")
+EOF
 elif [[ "${1:-}" == "perf" ]]; then
   # DES-kernel perf smoke: Release build, quick bench_engine run. The
   # binary itself exits non-zero if the timer-wheel kernel heap-allocates
@@ -79,7 +101,11 @@ EOF
 else
   cmake -B build -S .
   cmake --build build -j "$jobs"
-  ctest --test-dir build --output-on-failure -j "$jobs" -LE slow
+  # Flight-recorder post-mortems (crash dumps, SLO breach dumps) land here;
+  # on a red run the dumps are the first thing to read (tools/flightdump.py).
+  mkdir -p build/flight-dumps
+  RDMAMON_FLIGHT_DIR=build/flight-dumps \
+    ctest --test-dir build --output-on-failure -j "$jobs" -LE slow
   # Cross-scheme conformance contract, named for an explicit pass line.
   ctest --test-dir build -L conformance --output-on-failure -j "$jobs"
 fi

@@ -126,6 +126,11 @@ void FrontendPlane::wire(sim::Duration granularity) {
       reg.gauge("cluster.membership.epoch", l)
           .set(static_cast<double>(plane_->membership().epoch()));
     });
+    fr_ = reg_->recorder().ring("gossip." + node_->name(), 256);
+    slo_ = reg_->slo();
+    if (slo_ != nullptr) {
+      s_peer_age_ = slo_->find("cluster.peer_view_age");
+    }
   }
 
   lb_.start(*node_, granularity);
@@ -246,7 +251,13 @@ os::Program FrontendPlane::gossip_body(os::SimThread& self) {
         // A crashed host fails the READ outright; a host whose poller
         // stalled keeps DMA-serving a view whose published_at no
         // longer advances.
-        fresh = (simu.now() - v.published_at).ns <= cfg.staleness_bound.ns;
+        const sim::Duration view_age = simu.now() - v.published_at;
+        fresh = view_age.ns <= cfg.staleness_bound.ns;
+        // Lineage: the peer view's age at the gossip consume instant —
+        // the SLO stream the "gossip peer-view age" target watches.
+        if (slo_ != nullptr && s_peer_age_ != nullptr) {
+          slo_->observe(s_peer_age_, static_cast<double>(view_age.ns));
+        }
         if (wants_membership_ && !mem.is_member(id_)) {
           // We were evicted (crash, freeze, or partition) but can read
           // members again: rejoin and take our shard back.
@@ -254,6 +265,7 @@ os::Program FrontendPlane::gossip_body(os::SimThread& self) {
           mem.join(id_, "recovered");
           telemetry::span_event(reg_, "cluster", "membership",
                                 node_->name() + ": rejoined");
+          telemetry::fr_record(fr_, "rejoin", id_);
         }
       } else {
         ++gossip_fail_;
@@ -266,6 +278,7 @@ os::Program FrontendPlane::gossip_body(os::SimThread& self) {
         peer_fail_[pi] = 0;
         ++evictions_;
         telemetry::add(m_evict_);
+        telemetry::fr_record(fr_, "evict", peer, read_ok ? 1 : 0);
         telemetry::span_event(
             reg_, "cluster", "membership",
             node_->name() + ": evicting " + fp.node().name() +
@@ -286,6 +299,7 @@ os::Program FrontendPlane::gossip_body(os::SimThread& self) {
         last_strike_[i] = now;
         ++stale_marks_;
         telemetry::add(m_stale_);
+        telemetry::fr_record(fr_, "stale-mark", static_cast<std::int64_t>(i));
         lb_.note_stale(i);
       }
     }

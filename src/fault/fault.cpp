@@ -149,6 +149,16 @@ void FaultInjector::apply(const FaultEvent& e) {
     // can be correlated with fetch/dispatch behaviour.
     telemetry::span_event(reg, "fault", to_string(e.kind),
                           "node" + std::to_string(e.node));
+    // Flight-record the fault, and on a crash dump a post-mortem: the
+    // merged rings show exactly what the monitoring plane was doing in
+    // the lead-up to the kill.
+    reg->recorder()
+        .ring("fault", 128)
+        ->record(to_string(e.kind), e.node,
+                 static_cast<std::int64_t>(e.kind));
+    if (e.kind == FaultKind::NodeCrash) {
+      reg->recorder().postmortem("crash_node" + std::to_string(e.node));
+    }
   }
 }
 

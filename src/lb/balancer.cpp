@@ -31,6 +31,46 @@ void LoadBalancer::add_backend(
   samples_.emplace_back();
   health_.emplace_back();
   wrr_credit_.push_back(0.0);
+  view_src_.push_back(ViewSource::Pull);
+  lineage_.emplace_back();
+}
+
+LoadBalancer::~LoadBalancer() {
+  // The SloEngine outlives the balancer by contract (installed before
+  // wiring, like the registry); the probes capture `this` and must go.
+  if (slo_ != nullptr) {
+    for (std::uint64_t id : slo_probes_) slo_->remove_probe(id);
+  }
+}
+
+const char* LoadBalancer::source_label(std::size_t i, ViewSource src) const {
+  switch (src) {
+    case ViewSource::Push: return "push";
+    case ViewSource::Gossip: return "gossip";
+    case ViewSource::Pull: break;
+  }
+  return monitor::to_string(channels_[i]->frontend().scheme());
+}
+
+LoadBalancer::LineageCell& LoadBalancer::lineage_cell(std::size_t i,
+                                                      ViewSource src) {
+  LineageCell& cell = lineage_[i][static_cast<std::size_t>(src)];
+  if (reg_ != nullptr && cell.consume == nullptr) {
+    telemetry::Labels labels{
+        {"backend", channels_[i]->backend().node().name()},
+        {"scheme", source_label(i, src)}};
+    if (!telemetry_instance_.empty()) {
+      labels.add("frontend", telemetry_instance_);
+    }
+    cell.consume = &reg_->histogram("lb.age_at_consume_ns", labels);
+    cell.dispatch = &reg_->histogram("lb.age_at_dispatch_ns", labels);
+  }
+  return cell;
+}
+
+sim::Duration LoadBalancer::view_age(std::size_t i) const {
+  if (simu_ == nullptr || !samples_[i].ok) return sim::Duration{-1};
+  return simu_->now() - samples_[i].info.computed_at;
 }
 
 int LoadBalancer::alive_backends() const {
@@ -77,26 +117,34 @@ void LoadBalancer::record_fetch(std::size_t i, bool ok) {
                                 to_string(before) + " -> " +
                                 to_string(h.state));
     }
+    telemetry::fr_record(fr_, "health", static_cast<std::int64_t>(i),
+                         static_cast<std::int64_t>(h.state));
     for (const auto& cb : health_cbs_) cb(static_cast<int>(i), h.state);
   }
 }
 
 void LoadBalancer::apply_sample(std::size_t i,
                                 const monitor::MonitorSample& s,
-                                bool local) {
+                                bool local, ViewSource src) {
   record_fetch(i, s.ok);
   if (s.ok) {
     samples_[i] = s;
+    view_src_[i] = src;
     // The fetch-latency statistic measures THIS front end's monitoring
     // path; a gossiped sample rode a peer's fetch plus a view READ, so
     // folding its latency in would pollute the metric.
     if (local) fetch_lat_.add(static_cast<double>(s.latency().ns));
+    // Lineage: the sample's information age at the instant the view
+    // absorbed it (retrieved_at - the /proc sampling instant).
+    if (reg_ != nullptr) {
+      telemetry::observe(lineage_cell(i, src).consume, s.staleness());
+    }
   }
 }
 
 void LoadBalancer::ingest_peer_sample(std::size_t i,
                                       const monitor::MonitorSample& s) {
-  apply_sample(i, s, /*local=*/false);
+  apply_sample(i, s, /*local=*/false, ViewSource::Gossip);
 }
 
 void LoadBalancer::note_stale(std::size_t i) { record_fetch(i, false); }
@@ -113,6 +161,8 @@ void LoadBalancer::reset_health(std::size_t i) {
                                 ": reset " + to_string(before) +
                                 " -> healthy (shard takeover)");
     }
+    telemetry::fr_record(fr_, "health", static_cast<std::int64_t>(i),
+                         static_cast<std::int64_t>(BackendHealth::Healthy));
     for (const auto& cb : health_cbs_) {
       cb(static_cast<int>(i), BackendHealth::Healthy);
     }
@@ -184,7 +234,7 @@ void LoadBalancer::consume_push_fresh(std::size_t i,
     telemetry::add(m_push_fresh_);
     telemetry::observe(m_push_staleness_, s.staleness());
   }
-  apply_sample(i, s);
+  apply_sample(i, s, /*local=*/true, ViewSource::Push);
 }
 
 os::Program LoadBalancer::scanner_body(os::SimThread& self) {
@@ -239,7 +289,14 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
     adaptive_ = std::make_unique<monitor::AdaptiveController>(
         push_cfg_.adaptive, backends());
     for (auto& cb : mode_cbs_) adaptive_->on_switch(cb);
+    // Flight-record every mode switch (fr_ is resolved below, before the
+    // simulation runs; the callback reads it at fire time).
+    adaptive_->on_switch([this](std::size_t i, monitor::FetchMode m) {
+      telemetry::fr_record(fr_, "mode", static_cast<std::int64_t>(i),
+                           m == monitor::FetchMode::Push ? 1 : 0);
+    });
   }
+  simu_ = &frontend.simu();
   reg_ = telemetry::Registry::of(frontend.simu());
   if (reg_ != nullptr) {
     // When several balancers share one registry (scale-out plane), each
@@ -280,6 +337,43 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
             .set(static_cast<double>(adaptive_->total_switches()));
       }
     });
+    fr_ = reg_->recorder().ring("lb");
+    // Freshness SLOs: feed streams the operator declared (an undeclared
+    // stream resolves to null and the balancer stays silent about it).
+    slo_ = reg_->slo();
+    if (slo_ != nullptr) {
+      s_view_age_ = slo_->find("lb.view_age");
+      if (s_view_age_ != nullptr) {
+        // Worst current view age across our shard — a gauge-style probe,
+        // so the SLO keeps degrading while a frozen publisher says
+        // nothing (the silence IS the signal).
+        slo_probes_.push_back(slo_->add_probe(s_view_age_, [this] {
+          double worst = 0.0;
+          for (std::size_t i = 0; i < channels_.size(); ++i) {
+            if (poll_filter_ && !poll_filter_(i)) continue;
+            const sim::Duration a = view_age(i);
+            if (a.ns > 0) worst = std::max(worst, static_cast<double>(a.ns));
+          }
+          return worst;
+        }));
+      }
+      if (telemetry::SloEngine::Stream* silence =
+              slo_->find("lb.scan_silence");
+          silence != nullptr && push_inbox_ != nullptr) {
+        slo_probes_.push_back(slo_->add_probe(silence, [this] {
+          double worst = 0.0;
+          const sim::TimePoint now = simu_->now();
+          for (std::size_t i = 0; i < channels_.size(); ++i) {
+            if (poll_filter_ && !poll_filter_(i)) continue;
+            if (fetch_mode(i) != monitor::FetchMode::Push) continue;
+            const sim::Duration d =
+                now - push_inbox_->last_fresh(static_cast<int>(i));
+            worst = std::max(worst, static_cast<double>(d.ns));
+          }
+          return worst;
+        }));
+      }
+    }
   }
   poller_thread_ =
       frontend.spawn("lb-poller", [this, granularity](os::SimThread& t) {
@@ -386,11 +480,36 @@ int LoadBalancer::pick() {
       winner_w = w;
     }
   }
+  const char* reason = winner < 0 ? "fallback" : "wrr";
   if (winner < 0) winner = 0;
   wrr_credit_[static_cast<std::size_t>(winner)] -= total;
   if (reg_ != nullptr) {
     telemetry::add(m_pick_[static_cast<std::size_t>(winner)]);
     telemetry::observe(m_pick_weight_, winner_w);
+  }
+  // Lineage at the decision point: how old was the information this
+  // dispatch was actually made on, and through which path did it arrive.
+  if (simu_ != nullptr) {
+    const std::size_t wi = static_cast<std::size_t>(winner);
+    DispatchRecord rec;
+    rec.at = simu_->now();
+    rec.backend = winner;
+    rec.weight = winner_w;
+    rec.reason = reason;
+    if (samples_[wi].ok) {
+      rec.view_age = rec.at - samples_[wi].info.computed_at;
+      rec.via = source_label(wi, view_src_[wi]);
+      if (reg_ != nullptr) {
+        telemetry::observe(lineage_cell(wi, view_src_[wi]).dispatch,
+                           rec.view_age);
+      }
+      if (slo_ != nullptr && s_view_age_ != nullptr) {
+        slo_->observe(s_view_age_, static_cast<double>(rec.view_age.ns),
+                      rec.at);
+      }
+    }
+    dispatch_log_.push_back(rec);
+    if (dispatch_log_.size() > dispatch_log_cap_) dispatch_log_.pop_front();
   }
   return winner;
 }

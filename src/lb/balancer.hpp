@@ -5,7 +5,9 @@
 // interrupts (hidden load the classic indices miss).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "os/node.hpp"
 #include "sim/time.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/slo.hpp"
 
 namespace rdmamon::lb {
 
@@ -123,6 +126,21 @@ struct PushPollConfig {
   monitor::AdaptiveConfig adaptive;
 };
 
+/// One dispatch decision, kept in a bounded ring for post-mortems: who
+/// was picked, on a view of what age, refreshed via which path, and why.
+/// `via` and `reason` are static string literals — the ring never
+/// allocates per pick.
+struct DispatchRecord {
+  sim::TimePoint at{};
+  int backend = -1;
+  /// now - the view's /proc sampling instant (the information age the
+  /// decision was actually made on); -1ns when the winner had no view yet.
+  sim::Duration view_age{-1};
+  const char* via = "none";    ///< "pull" / "push" / "gossip" / "none"
+  const char* reason = "wrr";  ///< "wrr" | "fallback" (no weighted pick)
+  double weight = 0.0;         ///< winner's smooth-WRR weight
+};
+
 /// Tracks the latest monitoring sample per back end and picks the least
 /// loaded. A poller thread on the front-end node refreshes the samples
 /// every `granularity` — through the configured scheme, so the data is
@@ -134,6 +152,7 @@ struct PushPollConfig {
 class LoadBalancer {
  public:
   explicit LoadBalancer(WeightConfig weights) : weights_(weights) {}
+  ~LoadBalancer();
 
   /// Registers a back end via its monitoring channel.
   void add_backend(std::unique_ptr<monitor::MonitorChannel> channel);
@@ -261,12 +280,45 @@ class LoadBalancer {
   /// Mean observed refresh latency (monitoring fetch) per back end.
   const sim::OnlineStats& fetch_latency_ns() const { return fetch_lat_; }
 
+  // --- information-age lineage ---------------------------------------------
+  /// Recent dispatch decisions, oldest first (bounded; see
+  /// set_dispatch_log_capacity). Every pick() appends one record once
+  /// start() has bound a clock.
+  const std::deque<DispatchRecord>& dispatch_log() const {
+    return dispatch_log_;
+  }
+  void set_dispatch_log_capacity(std::size_t cap) {
+    dispatch_log_cap_ = cap;
+    while (dispatch_log_.size() > dispatch_log_cap_) {
+      dispatch_log_.pop_front();
+    }
+  }
+
+  /// Age of back end `i`'s current view (now - its /proc sampling
+  /// instant), or a negative duration when no view exists yet. This is
+  /// what the "lb.view_age" SLO probe reports the worst case of.
+  sim::Duration view_age(std::size_t i) const;
+
  private:
   struct Health {
     BackendHealth state = BackendHealth::Healthy;
     int fail_streak = 0;
     int success_streak = 0;
   };
+
+  /// Which refresh path produced a back end's current view — the
+  /// "scheme" dimension of the lineage histograms ("push"/"gossip", or
+  /// the channel's wire scheme name for pull).
+  enum class ViewSource : std::uint8_t { Pull = 0, Push = 1, Gossip = 2 };
+  static constexpr std::size_t kViewSources = 3;
+
+  /// Lazily-resolved per-{backend, source} lineage instruments.
+  struct LineageCell {
+    telemetry::HistogramMetric* consume = nullptr;
+    telemetry::HistogramMetric* dispatch = nullptr;
+  };
+  LineageCell& lineage_cell(std::size_t i, ViewSource src);
+  const char* source_label(std::size_t i, ViewSource src) const;
 
   os::Program poller_body(os::SimThread& self, sim::Duration granularity);
   /// Push-strategy pre-pass of one round: scans the inbox slots of
@@ -287,7 +339,7 @@ class LoadBalancer {
                           bool heartbeat);
   void record_fetch(std::size_t i, bool ok);
   void apply_sample(std::size_t i, const monitor::MonitorSample& s,
-                    bool local = true);
+                    bool local = true, ViewSource src = ViewSource::Pull);
   /// Targets of poll round `round`: every live back end, plus the Dead
   /// ones on the dead-probe cadence.
   std::vector<std::size_t> poll_targets(std::uint64_t round) const;
@@ -317,6 +369,20 @@ class LoadBalancer {
   std::vector<std::function<void(std::size_t, monitor::FetchMode)>> mode_cbs_;
   std::uint64_t push_fresh_ = 0;
   std::uint64_t push_verifications_ = 0;
+  // Information-age lineage (tentpole of the freshness plane): per-view
+  // provenance, per-{backend, source} age histograms, the dispatch ring,
+  // and the SLO streams fed from pick(). The SloEngine (when one is
+  // installed on the registry) must outlive this balancer — probes are
+  // removed in the destructor.
+  sim::Simulation* simu_ = nullptr;  ///< bound at start(); clock for pick()
+  std::vector<ViewSource> view_src_;  ///< provenance of samples_[i]
+  std::vector<std::array<LineageCell, kViewSources>> lineage_;
+  std::deque<DispatchRecord> dispatch_log_;
+  std::size_t dispatch_log_cap_ = 256;
+  telemetry::SloEngine* slo_ = nullptr;
+  telemetry::SloEngine::Stream* s_view_age_ = nullptr;
+  std::vector<std::uint64_t> slo_probes_;
+  telemetry::FlightRing* fr_ = nullptr;  ///< "lb" ring: health + mode edges
   // Telemetry instruments, resolved in start() (null when disabled / no
   // registry installed on the front end's simulation).
   telemetry::Registry* reg_ = nullptr;

@@ -44,6 +44,10 @@ PushInbox::PushInbox(net::Fabric& fabric, os::Node& frontend, int slots,
         slots_[static_cast<std::size_t>(w.slot)] = w.value;
         ++writes_applied_;
       });
+  if (telemetry::Registry* reg =
+          telemetry::Registry::of(fabric.simu())) {
+    fr_ = reg->recorder().ring("inbox." + frontend.name());
+  }
 }
 
 const char* PushInbox::to_string(ScanResult r) {
@@ -67,6 +71,8 @@ PushInbox::ScanResult PushInbox::scan(int i, MonitorSample& out,
     // another. Never consume it — and do not advance the consumed
     // sequence, so the completing write is still picked up next scan.
     ++torn_;
+    telemetry::fr_record(fr_, "scan.torn", i,
+                         static_cast<std::int64_t>(s.seq));
     return ScanResult::Torn;
   }
   if (s.seq < consumed_[idx]) {
@@ -74,6 +80,8 @@ PushInbox::ScanResult PushInbox::scan(int i, MonitorSample& out,
     // (replay/reorder). Consuming it would make the view travel back in
     // time; the consumed watermark makes this impossible by construction.
     ++regressed_;
+    telemetry::fr_record(fr_, "scan.regressed", i,
+                         static_cast<std::int64_t>(s.seq));
     return ScanResult::Regressed;
   }
   if (s.seq == consumed_[idx]) return ScanResult::Unchanged;
@@ -89,6 +97,10 @@ PushInbox::ScanResult PushInbox::scan(int i, MonitorSample& out,
   out.error = FetchError::None;
   out.attempts = 1;
   if (heartbeat != nullptr) *heartbeat = s.heartbeat;
+  // x = the image's information age at consume (the lineage signal).
+  telemetry::fr_record(fr_, s.heartbeat ? "scan.heartbeat" : "scan.fresh", i,
+                       static_cast<std::int64_t>(s.seq),
+                       static_cast<double>((now - s.info.computed_at).ns));
   return ScanResult::Fresh;
 }
 

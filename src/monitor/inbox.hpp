@@ -28,6 +28,7 @@
 #include "net/nic.hpp"
 #include "net/verbs.hpp"
 #include "os/node.hpp"
+#include "telemetry/recorder.hpp"
 
 namespace rdmamon::monitor {
 
@@ -124,6 +125,10 @@ class PushInbox {
   std::uint64_t fresh_ = 0;
   std::uint64_t torn_ = 0;
   std::uint64_t regressed_ = 0;
+  /// Flight ring for consumed/rejected slot images ("inbox.<frontend>");
+  /// Empty/Unchanged scans are NOT recorded — they would drown the
+  /// interesting history at scanner rates.
+  telemetry::FlightRing* fr_ = nullptr;
 };
 
 /// Push-trigger tuning (back-end side).

@@ -22,6 +22,9 @@ Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {
     reg.gauge("net.nic.rdma_wire_bytes", by_node)
         .set(static_cast<double>(rdma_wire_bytes_));
   });
+  if (telemetry::Registry* reg = telemetry::Registry::of(fabric.simu())) {
+    fr_ = reg->recorder().ring("net." + node.name());
+  }
 }
 
 // --- two-sided ----------------------------------------------------------------
@@ -117,6 +120,19 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
                     std::uint64_t wr_id,
                     std::function<void(Completion)> done) {
   ++rdma_posted_;
+  if (fr_ != nullptr) {
+    // Flight-record the post and wrap `done` so every completion path
+    // (success, retry-exceeded, invalid key) lands exactly one event with
+    // the completion's own timestamp.
+    fr_->record("read.post", target_node, static_cast<std::int64_t>(wr_id),
+                static_cast<double>(len));
+    done = [fr = fr_, done = std::move(done)](Completion c) mutable {
+      fr->record_at(c.completed, "read.comp", static_cast<std::int64_t>(c.status),
+                    static_cast<std::int64_t>(c.wr_id),
+                    static_cast<double>((c.completed - c.posted).ns));
+      done(std::move(c));
+    };
+  }
   sim::Simulation& simu = fabric_.simu();
   const FabricConfig& cfg = fabric_.config();
   rdma_wire_bytes_ += cfg.rdma_request_bytes + len;
@@ -193,6 +209,17 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
                      std::size_t len, std::uint64_t wr_id,
                      std::function<void(Completion)> done) {
   ++rdma_posted_;
+  if (fr_ != nullptr) {
+    fr_->record("write.post", target_node, static_cast<std::int64_t>(wr_id),
+                static_cast<double>(len));
+    done = [fr = fr_, done = std::move(done)](Completion c) mutable {
+      fr->record_at(c.completed, "write.comp",
+                    static_cast<std::int64_t>(c.status),
+                    static_cast<std::int64_t>(c.wr_id),
+                    static_cast<double>((c.completed - c.posted).ns));
+      done(std::move(c));
+    };
+  }
   sim::Simulation& simu = fabric_.simu();
   const FabricConfig& cfg = fabric_.config();
   rdma_wire_bytes_ += 2 * cfg.rdma_request_bytes + len;

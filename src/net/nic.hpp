@@ -100,6 +100,9 @@ class Nic {
   /// Publishes the counters above as gauges at snapshot time, so the
   /// hot packet paths need no extra bookkeeping.
   telemetry::ScopedCollector collector_;
+  /// Flight-recorder ring for this NIC's verbs posts/completions
+  /// ("net.<node>"); null when no registry is installed.
+  telemetry::FlightRing* fr_ = nullptr;
 };
 
 }  // namespace rdmamon::net

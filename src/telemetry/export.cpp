@@ -17,7 +17,25 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+/// Prometheus label-value escaping: backslash, double quote and newline
+/// must be escaped inside the quoted value (exposition format spec).
+std::string prom_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// `{k1="v1",k2="v2"}` from the canonical label string ("" -> "").
+/// Values are escaped at emission; keys are registry-controlled
+/// identifiers and pass through.
 std::string prom_labels(const std::string& canonical,
                         const std::string& extra = "") {
   if (canonical.empty() && extra.empty()) return "";
@@ -29,7 +47,7 @@ std::string prom_labels(const std::string& canonical,
     if (key.empty()) return;
     if (!first) out += ',';
     first = false;
-    out += key + "=\"" + val + "\"";
+    out += key + "=\"" + prom_escape(val) + "\"";
     key.clear();
     val.clear();
   };
@@ -49,6 +67,20 @@ std::string prom_labels(const std::string& canonical,
     out += extra;
   }
   out += '}';
+  return out;
+}
+
+/// HELP text escaping: backslash and newline (spec; no quote escaping).
+std::string help_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
   return out;
 }
 
@@ -78,20 +110,39 @@ std::string to_prometheus(const Snapshot& snap) {
   std::string out;
   out += "# rdmamon telemetry snapshot at t=" + std::to_string(snap.at.ns) +
          "ns\n";
+  // Snapshot entries arrive sorted by (name, labels), so every label set
+  // of one metric is contiguous: emit HELP/TYPE once per metric name (a
+  // repeated TYPE line for the same name is a parse error in real
+  // scrapers), then the samples.
+  std::string last_name;
   for (const SnapshotEntry& e : snap.entries) {
     const std::string name = prom_name(e.name);
+    const bool first_of_name = e.name != last_name;
+    last_name = e.name;
     switch (e.kind) {
       case SnapshotEntry::Kind::Counter:
-        out += "# TYPE " + name + "_total counter\n";
+        if (first_of_name) {
+          out += "# HELP " + name + "_total rdmamon counter " +
+                 help_escape(e.name) + "\n";
+          out += "# TYPE " + name + "_total counter\n";
+        }
         out += name + "_total" + prom_labels(e.labels) + " " + num(e.value) +
                "\n";
         break;
       case SnapshotEntry::Kind::Gauge:
-        out += "# TYPE " + name + " gauge\n";
+        if (first_of_name) {
+          out += "# HELP " + name + " rdmamon gauge " + help_escape(e.name) +
+                 "\n";
+          out += "# TYPE " + name + " gauge\n";
+        }
         out += name + prom_labels(e.labels) + " " + num(e.value) + "\n";
         break;
       case SnapshotEntry::Kind::Histogram: {
-        out += "# TYPE " + name + " summary\n";
+        if (first_of_name) {
+          out += "# HELP " + name + " rdmamon histogram summary " +
+                 help_escape(e.name) + "\n";
+          out += "# TYPE " + name + " summary\n";
+        }
         out += name + "_count" + prom_labels(e.labels) + " " +
                num(static_cast<double>(e.hist.count)) + "\n";
         out += name + "_mean" + prom_labels(e.labels) + " " +
@@ -169,22 +220,38 @@ void print_dashboard(std::ostream& os, const Snapshot& snap,
                      const SpanTracer* spans, std::size_t max_spans) {
   os << "-- telemetry @ t=" << sim::to_string(snap.at) << " ("
      << snap.entries.size() << " instruments) --\n";
+  // Group into sections by the name's first '.'-component. Entries are
+  // pre-sorted by (name, labels), but different instrument KINDS sharing
+  // a prefix used to interleave their section headers; sorting section
+  // keys explicitly keeps the rendering deterministic regardless of how
+  // entries arrive.
+  std::map<std::string, std::vector<const SnapshotEntry*>> sections;
   for (const SnapshotEntry& e : snap.entries) {
-    os << "  " << util::pad_right(e.name, 34);
-    if (!e.labels.empty()) os << "{" << e.labels << "} ";
-    switch (e.kind) {
-      case SnapshotEntry::Kind::Counter:
-        os << num(e.value);
-        break;
-      case SnapshotEntry::Kind::Gauge:
-        os << num(e.value);
-        break;
-      case SnapshotEntry::Kind::Histogram:
-        os << "n=" << e.hist.count << " mean=" << num(e.hist.mean)
-           << " p50=" << num(e.hist.p50) << " p99=" << num(e.hist.p99);
-        break;
+    const std::size_t dot = e.name.find('.');
+    sections[dot == std::string::npos ? e.name.substr(0, e.name.find('_'))
+                                      : e.name.substr(0, dot)]
+        .push_back(&e);
+  }
+  for (const auto& [section, entries] : sections) {
+    os << "  [" << section << "]\n";
+    for (const SnapshotEntry* ep : entries) {
+      const SnapshotEntry& e = *ep;
+      os << "    " << util::pad_right(e.name, 34);
+      if (!e.labels.empty()) os << "{" << e.labels << "} ";
+      switch (e.kind) {
+        case SnapshotEntry::Kind::Counter:
+          os << num(e.value);
+          break;
+        case SnapshotEntry::Kind::Gauge:
+          os << num(e.value);
+          break;
+        case SnapshotEntry::Kind::Histogram:
+          os << "n=" << e.hist.count << " mean=" << num(e.hist.mean)
+             << " p50=" << num(e.hist.p50) << " p99=" << num(e.hist.p99);
+          break;
+      }
+      os << '\n';
     }
-    os << '\n';
   }
   if (spans != nullptr && !spans->finished().empty()) {
     os << "  -- last spans --\n";

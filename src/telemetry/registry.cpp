@@ -43,6 +43,7 @@ void Registry::install(sim::Simulation& simu) {
   simu_ = &simu;
   simu.set_telemetry(this);
   spans_.bind_clock([s = &simu] { return s->now(); });
+  recorder_.bind_clock([s = &simu] { return s->now(); });
 }
 
 Registry::Instrument& Registry::resolve(std::string_view name,
@@ -119,6 +120,15 @@ Snapshot Registry::snapshot() {
         static_cast<double>(simu_->events_cancelled()));
     gauge("sim_events_tombstoned").set(
         static_cast<double>(simu_->events_tombstoned()));
+  }
+  if (recorder_.total_recorded() > 0) {
+    // Flight-recorder self-accounting, published only once something was
+    // recorded so recorder-free runs keep their exact snapshot shape.
+    std::uint64_t dropped = 0;
+    for (const FlightRing* r : recorder_.rings()) dropped += r->dropped();
+    gauge("telemetry.flight.recorded").set(
+        static_cast<double>(recorder_.total_recorded()));
+    gauge("telemetry.flight.dropped").set(static_cast<double>(dropped));
   }
   for (const auto& [id, fn] : collectors_) fn(*this);
   Snapshot snap;

@@ -38,6 +38,7 @@
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "telemetry/recorder.hpp"
 #include "telemetry/span.hpp"
 
 #ifndef RDMAMON_TELEMETRY_ENABLED
@@ -45,6 +46,8 @@
 #endif
 
 namespace rdmamon::telemetry {
+
+class SloEngine;
 
 /// Compile-time master switch. Building with
 /// -DRDMAMON_TELEMETRY_ENABLED=0 turns every record helper into a
@@ -174,6 +177,16 @@ class Registry {
   SpanTracer& spans() { return spans_; }
   const SpanTracer& spans() const { return spans_; }
 
+  /// The always-on flight recorder sharing this registry's clock.
+  /// Components cache FlightRing pointers from it at wiring time.
+  FlightRecorder& recorder() { return recorder_; }
+  const FlightRecorder& recorder() const { return recorder_; }
+
+  /// The SLO engine attached via SloEngine::install(), or nullptr (no
+  /// SLOs declared). Components look up streams here and feed them.
+  SloEngine* slo() { return slo_; }
+  void set_slo(SloEngine* engine) { slo_ = engine; }
+
   /// Runs collectors, then flattens every instrument, sorted by
   /// (name, labels) — byte-deterministic for a deterministic run.
   Snapshot snapshot();
@@ -200,6 +213,8 @@ class Registry {
       collectors_;
   std::uint64_t next_collector_id_ = 1;
   SpanTracer spans_;
+  FlightRecorder recorder_;
+  SloEngine* slo_ = nullptr;
 };
 
 /// RAII collector registration, safe under either destruction order:

@@ -14,6 +14,7 @@
 #include "sim/simulation.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/slo.hpp"
 #include "web/cluster.hpp"
 
 namespace rdmamon {
@@ -25,14 +26,29 @@ using sim::seconds;
 struct TraceDump {
   std::string metrics;
   std::string spans;
+  std::string alarms;
 };
 
 /// One complete RUBiS cluster run: M front ends, 4 back ends, 2 client
-/// nodes of browsing-mix traffic, telemetry on, 1 simulated second.
+/// nodes of browsing-mix traffic, telemetry on, a staleness SLO with a
+/// deliberately unreachable target (so alarm edges actually fire and the
+/// log comparison is not vacuous), 1 simulated second.
 TraceDump run_rubis(std::uint64_t seed, int frontends) {
   sim::Simulation simu;
   telemetry::Registry reg;
   reg.install(simu);
+  telemetry::SloEngine slo;
+  slo.install(reg);
+  telemetry::SloSpec spec;
+  spec.name = "lb.view_age";
+  spec.metric = "worst backend view age (ns)";
+  spec.target = 1e3;  // 1us: below any fetch latency, so every probed
+                      // view age violates and edges are guaranteed
+  spec.window = msec(500);
+  spec.error_budget = 1.0;
+  spec.min_count = 4;
+  slo.add(spec);
+  slo.arm_timer(simu, msec(50));
 
   web::ClusterConfig cfg;
   cfg.seed = seed;
@@ -46,7 +62,8 @@ TraceDump run_rubis(std::uint64_t seed, int frontends) {
   simu.run_for(seconds(1));
 
   return {telemetry::to_json(reg.snapshot()).dump(2),
-          telemetry::spans_to_json(reg.spans()).dump(2)};
+          telemetry::spans_to_json(reg.spans()).dump(2),
+          slo.log_json().dump(2)};
 }
 
 TEST(Determinism, SameSeedSameTelemetryAndSpans) {
@@ -54,6 +71,10 @@ TEST(Determinism, SameSeedSameTelemetryAndSpans) {
   const TraceDump b = run_rubis(42, 1);
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.spans, b.spans);
+  // The alarm log slides its windows on the simulated clock, so it must
+  // replay byte-for-byte too — and non-vacuously (edges fired).
+  EXPECT_EQ(a.alarms, b.alarms);
+  EXPECT_NE(a.alarms.find("\"to\": \"breach\""), std::string::npos);
   // Sanity: the run actually produced telemetry worth comparing.
   EXPECT_NE(a.metrics.find("lb.pick"), std::string::npos);
   EXPECT_NE(a.metrics.find("web.response"), std::string::npos);
@@ -73,6 +94,7 @@ TEST(Determinism, ScaleOutPlaneIsDeterministicToo) {
   const TraceDump b = run_rubis(7, 4);
   EXPECT_EQ(a.metrics, b.metrics);
   EXPECT_EQ(a.spans, b.spans);
+  EXPECT_EQ(a.alarms, b.alarms);
   EXPECT_NE(a.metrics.find("cluster.ring.owned"), std::string::npos);
 }
 

@@ -22,8 +22,9 @@ import json
 import math
 import sys
 
-# Keys that may legitimately differ run-to-run (wall-clock measurements).
-VOLATILE = {"wall_ms"}
+# Keys that may legitimately differ run-to-run (wall-clock measurements
+# and the report-level provenance stamps added at write() time).
+VOLATILE = {"wall_ms", "generated_unix_ms"}
 
 REL_TOL = 1e-9
 ABS_TOL = 1e-12

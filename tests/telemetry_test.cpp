@@ -2,6 +2,7 @@
 
 #include <any>
 #include <cstdlib>
+#include <map>
 #include <new>
 #include <sstream>
 #include <string>
@@ -321,6 +322,138 @@ TEST(Export, DashboardPrintsGroupedMetricsAndSpans) {
   const std::string out = os.str();
   EXPECT_NE(out.find("net.verbs.posts"), std::string::npos);
   EXPECT_NE(out.find("monitor/fetch"), std::string::npos);
+}
+
+TEST(Export, DashboardSectionsAreSortedAndStable) {
+  // Snapshot test: sections in sorted order with 4-space-indented
+  // entries, regardless of instrument registration order.
+  Registry reg;
+  reg.gauge("net.up").set(1);                                // [net]
+  reg.counter("lb.pick", Labels{{"backend", "b0"}}).inc(2);  // [lb]
+  std::ostringstream os;
+  print_dashboard(os, reg.snapshot(), nullptr);
+  const std::string out = os.str();
+  const std::size_t body = out.find("  [");
+  ASSERT_NE(body, std::string::npos);
+  const std::string expected = std::string("  [lb]\n") +          //
+                               "    lb.pick" + std::string(27, ' ') +
+                               "{backend=b0} 2\n" +               //
+                               "  [net]\n" +                      //
+                               "    net.up" + std::string(28, ' ') + "1\n";
+  EXPECT_EQ(out.substr(body), expected);
+  // Deterministic: a second render is byte-identical.
+  std::ostringstream os2;
+  print_dashboard(os2, reg.snapshot(), nullptr);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(Export, PrometheusEmitsHelpAndTypeOncePerMetric) {
+  Registry reg;
+  reg.counter("monitor.fetch", Labels{{"backend", "b0"}}).inc(1);
+  reg.counter("monitor.fetch", Labels{{"backend", "b1"}}).inc(2);
+  reg.histogram("lb.age_ns", Labels{{"backend", "b0"}}).observe(5.0);
+  reg.histogram("lb.age_ns", Labels{{"backend", "b1"}}).observe(7.0);
+  const std::string text = to_prometheus(reg.snapshot());
+  auto count_of = [&text](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t p = text.find(needle); p != std::string::npos;
+         p = text.find(needle, p + needle.size())) {
+      ++n;
+    }
+    return n;
+  };
+  // One TYPE per family even with several label sets; scrapers reject
+  // duplicates. Summaries declare the bare family name once.
+  EXPECT_EQ(count_of("# TYPE rdmamon_monitor_fetch_total counter"), 1u);
+  EXPECT_EQ(count_of("# HELP rdmamon_monitor_fetch_total"), 1u);
+  EXPECT_EQ(count_of("# TYPE rdmamon_lb_age_ns summary"), 1u);
+  EXPECT_EQ(count_of("rdmamon_monitor_fetch_total{"), 2u);
+  // TYPE precedes the family's first sample.
+  EXPECT_LT(text.find("# TYPE rdmamon_monitor_fetch_total"),
+            text.find("rdmamon_monitor_fetch_total{"));
+}
+
+/// Minimal exposition-format line parser for the round-trip test:
+/// unescapes one quoted label value (the inverse of prom_escape).
+std::string prom_unescape(const std::string& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == '\\' && i + 1 < v.size()) {
+      const char c = v[++i];
+      out += c == 'n' ? '\n' : c;  // \\ -> backslash, \" -> quote
+    } else {
+      out += v[i];
+    }
+  }
+  return out;
+}
+
+TEST(Export, PrometheusRoundTripParsesAndUnescapes) {
+  const std::string nasty = "quo\"te\\slash\nline";
+  Registry reg;
+  reg.counter("a.total", Labels{{"k", nasty}}).inc(3);
+  reg.gauge("b.current").set(1.5);
+  reg.histogram("c.lat_ns").observe(10.0);
+  const std::string text = to_prometheus(reg.snapshot());
+
+  // Parse every line: comments must be HELP/TYPE (or the header), and
+  // every sample must be `name[{k="v",...}] value` with a declared TYPE
+  // for its family and a numeric value.
+  std::map<std::string, std::string> types;  // family -> type
+  std::string parsed_label;
+  std::size_t samples = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, what, fam, kind;
+      ls >> hash >> what;
+      if (what == "TYPE") {
+        ls >> fam >> kind;
+        EXPECT_EQ(types.count(fam), 0u) << "duplicate TYPE for " << fam;
+        types[fam] = kind;
+      }
+      continue;
+    }
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    char* end = nullptr;
+    (void)std::strtod(line.c_str() + sp + 1, &end);
+    EXPECT_EQ(*end, '\0') << "unparseable value in: " << line;
+    std::string name = line.substr(0, sp);
+    const std::size_t brace = name.find('{');
+    if (brace != std::string::npos) {
+      // Extract the quoted value of the first label (escape-aware).
+      const std::size_t q0 = name.find('"', brace);
+      ASSERT_NE(q0, std::string::npos);
+      std::size_t q1 = q0 + 1;
+      while (q1 < name.size() &&
+             !(name[q1] == '"' && name[q1 - 1] != '\\')) {
+        ++q1;
+      }
+      if (name.compare(brace, 4, "{k=\"") == 0) {
+        parsed_label = prom_unescape(name.substr(q0 + 1, q1 - q0 - 1));
+      }
+      name = name.substr(0, brace);
+    }
+    // The sample's family must have a TYPE: exact for plain metrics, the
+    // base name for summary _count/_mean satellites.
+    bool declared = types.count(name) > 0;
+    for (const char* suffix : {"_count", "_mean"}) {
+      const std::string s = suffix;
+      if (!declared && name.size() > s.size() &&
+          name.compare(name.size() - s.size(), s.size(), s) == 0) {
+        declared = types.count(name.substr(0, name.size() - s.size())) > 0;
+      }
+    }
+    EXPECT_TRUE(declared) << "sample before TYPE: " << name;
+    ++samples;
+  }
+  EXPECT_GE(samples, 5u);  // counter + gauge + summary count/mean/quantiles
+  // The nasty label value round-trips exactly.
+  EXPECT_EQ(parsed_label, nasty);
 }
 
 // --- end-to-end: an instrumented run produces the expected metrics ----------
