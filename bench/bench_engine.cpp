@@ -249,6 +249,41 @@ RunResult run_multi_horizon(std::uint64_t iters) {
   return RunResult{iters * 2, elapsed(t0), g_allocs - a0};
 }
 
+/// The scatter plane's event shape at N=4096 back ends: a standing
+/// population of in-flight fetch attempts, each carrying one completion
+/// event (wire latency away) and one deadline guard at the monitoring
+/// fetch_timeout (200 ms), cancelled when the completion wins the race —
+/// which, fault-free, it always does. The guards live on the wheel's
+/// upper levels, so this exercises the O(1) eager-unlink cancel path at
+/// scatter-round scale. One iteration = 1 pop + 1 cancel + 2 schedules
+/// = 4 ops.
+template <class K>
+RunResult run_fabric_round(std::uint64_t iters) {
+  K k;
+  constexpr int kSlots = 4096;
+  std::vector<typename K::Handle> guard(kSlots);
+  std::int64_t now = 0;
+  int fired_slot = -1;
+  auto arm = [&](int slot) {
+    // Completion ~4-8 us out, spread per slot like per-target DMA skew.
+    k.schedule(now + 4'000 + (slot % 257) * 16,
+               [&fired_slot, slot] { fired_slot = slot; });
+    guard[slot] = k.schedule(now + 200'000'000, [] {});
+  };
+  for (int s = 0; s < kSlots; ++s) arm(s);
+  auto iteration = [&] {
+    now = k.pop();
+    const int slot = fired_slot;
+    guard[slot].cancel();
+    arm(slot);
+  };
+  for (std::uint64_t i = 0; i < iters / 10; ++i) iteration();  // warm-up
+  const std::uint64_t a0 = g_allocs;
+  const auto t0 = Clock::now();
+  for (std::uint64_t i = 0; i < iters; ++i) iteration();
+  return RunResult{iters * 4, elapsed(t0), g_allocs - a0};
+}
+
 long peak_rss_kb() {
   struct rusage ru;
   getrusage(RUSAGE_SELF, &ru);
@@ -276,6 +311,7 @@ int main(int argc, char** argv) {
   const std::uint64_t kTimerEvents = quick ? 500'000 : 5'000'000;
   const std::uint64_t kCancelIters = quick ? 400'000 : 4'000'000;
   const std::uint64_t kHorizonIters = quick ? 400'000 : 4'000'000;
+  const std::uint64_t kFabricIters = quick ? 400'000 : 4'000'000;
 
   banner("ENGINE", "DES kernel: pooled timer-wheel vs seed binary heap",
          "infrastructure bench - wall-clock only, no simulated figures");
@@ -289,6 +325,8 @@ int main(int argc, char** argv) {
                   run_schedule_cancel<WheelKernel>(kCancelIters), true});
   rows.push_back({"multi_horizon", WheelKernel::kName,
                   run_multi_horizon<WheelKernel>(kHorizonIters), false});
+  rows.push_back({"fabric_round", WheelKernel::kName,
+                  run_fabric_round<WheelKernel>(kFabricIters), true});
   const long wheel_rss_kb = peak_rss_kb();
   rows.push_back({"steady_timers", LegacyKernel::kName,
                   run_steady_timers<LegacyKernel>(kTimerEvents), false});
@@ -296,6 +334,8 @@ int main(int argc, char** argv) {
                   run_schedule_cancel<LegacyKernel>(kCancelIters), false});
   rows.push_back({"multi_horizon", LegacyKernel::kName,
                   run_multi_horizon<LegacyKernel>(kHorizonIters), false});
+  rows.push_back({"fabric_round", LegacyKernel::kName,
+                  run_fabric_round<LegacyKernel>(kFabricIters), false});
   const long total_rss_kb = peak_rss_kb();
 
   util::Table table;
@@ -338,7 +378,8 @@ int main(int argc, char** argv) {
   }
   double min_speedup = 1e300;
   std::cout << "\nspeedup vs seed kernel:\n";
-  for (const char* w : {"steady_timers", "schedule_cancel", "multi_horizon"}) {
+  for (const char* w :
+       {"steady_timers", "schedule_cancel", "multi_horizon", "fabric_round"}) {
     const double s = ops_per_sec(w, WheelKernel::kName) /
                      ops_per_sec(w, LegacyKernel::kName);
     if (s < min_speedup) min_speedup = s;

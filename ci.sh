@@ -26,9 +26,10 @@ elif [[ "${1:-}" == "bench" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target \
     bench_fig3_latency bench_fig5_accuracy bench_scale_poll \
-    bench_fault_resilience bench_scale_frontends bench_engine
+    bench_fault_resilience bench_scale_frontends bench_engine bench_verbs
   mkdir -p bench-results
-  for b in fig3_latency scale_poll fault_resilience scale_frontends engine; do
+  for b in fig3_latency scale_poll fault_resilience scale_frontends engine \
+           verbs; do
     RDMAMON_BENCH_DIR=bench-results ./build/bench/bench_$b --quick
     python3 -m json.tool "bench-results/BENCH_$b.json" > /dev/null
     echo "BENCH_$b.json: valid"
@@ -56,8 +57,47 @@ print(f"adaptive worst ratio vs better scheme: "
       f"{h['adaptive_worst_ratio']:.3f}x (acceptance <= 1.1)")
 assert h["adaptive_worst_ratio"] <= 1.1, "adaptive strayed from better scheme"
 EOF
-  # Golden-trace replays (ctest LABELS slow): quick fig3/fig5/scale_poll
-  # pinned against tests/golden/*.json.
+  # Verbs-layer acceptance: per-slot overhead must drop monotonically as
+  # the signaling period k grows 1 -> 16 at fixed queue depth, and the
+  # shared-context pool must erase the bounded-cache thrash penalty.
+  python3 - <<'EOF'
+import json
+doc = json.load(open("bench-results/BENCH_verbs.json"))
+h = doc["headline"]
+print(f"cq_mod per-slot overhead at depth {h['depth']}: "
+      f"k=1 {h['per_slot_overhead_k1_ns']:.0f}ns -> "
+      f"k=16 {h['per_slot_overhead_k16_ns']:.0f}ns "
+      f"({h['overhead_drop_factor']:.3f}x)")
+assert h["overhead_monotone"], "per-slot overhead not monotone in k"
+assert h["per_slot_overhead_k16_ns"] < h["per_slot_overhead_k1_ns"], \
+    "k=16 did not beat k=1"
+q = doc["qpc_headline"]
+print(f"qpc cache at n={q['n']}: unbounded {q['round_unbounded_us']:.1f}us, "
+      f"thrash {q['thrash_ratio']:.2f}x, shared {q['shared_ratio']:.3f}x")
+assert q["thrash_ratio"] > 1.5, "dedicated contexts did not thrash the cache"
+assert q["shared_ratio"] <= 1.15, "shared contexts did not stay near unbounded"
+EOF
+  # Scale acceptance: the RDMA scatter round on the fast path stays flat
+  # (<= 1.25x the N=256 round) out to N=2048 over a bounded NIC cache.
+  python3 - <<'EOF'
+import json
+doc = json.load(open("bench-results/BENCH_scale_poll.json"))
+s = doc["scale_headline"]
+print(f"scatter round N={s['n_small']} -> N={s['n_large']}: "
+      f"{s['round_small_us']:.1f}us -> {s['round_large_us']:.1f}us "
+      f"({s['flatness_ratio']:.3f}x, acceptance <= 1.25; dedicated contrast "
+      f"{s['round_dedicated_large_us']:.1f}us)")
+assert s["flatness_ratio"] <= 1.25, "scatter round cost grew with N"
+v = json.load(open("bench-results/BENCH_scale_frontends.json"))
+b = v["verbs_2048_headline"]
+print(f"verbs fast path at N={b['n']}: polls/backend/s M=1 "
+      f"{b['polls_per_backend_sec_m1']:.1f} -> M=4 "
+      f"{b['polls_per_backend_sec_m4']:.1f} ({b['flatness_ratio']:.3f}x)")
+assert 0.85 <= b["flatness_ratio"] <= 1.15, \
+    "per-backend probe load not flat at N=2048 on the fast path"
+EOF
+  # Golden-trace replays (ctest LABELS slow): quick fig3/fig5/scale_poll/
+  # verbs pinned against tests/golden/*.json.
   ctest --test-dir build -L slow --output-on-failure -j "$jobs"
 elif [[ "${1:-}" == "slo" ]]; then
   # Freshness-plane smoke: the staleness SLO / flight recorder / alarm-MR
@@ -95,8 +135,15 @@ doc = json.load(open("bench-results/BENCH_engine.json"))
 assert doc["zero_steady_state_alloc"], "steady-state allocation detected"
 for row in doc["results"]:
     assert row["events_per_sec"] > 0, row
+# The scatter-shaped workload (N=4096 standing completion+deadline pairs,
+# pop/cancel/re-arm) must hold ~10^7 events/s on the wheel kernel.
+fabric = [r for r in doc["results"]
+          if r["workload"] == "fabric_round" and r["kernel"] == "timer-wheel"]
+assert fabric and fabric[0]["events_per_sec"] >= 1e7, fabric
 print("BENCH_engine.json: valid, zero steady-state allocations, "
-      f"schedule_cancel speedup {doc['speedup_schedule_cancel']:.2f}x")
+      f"schedule_cancel speedup {doc['speedup_schedule_cancel']:.2f}x, "
+      f"fabric_round {fabric[0]['events_per_sec'] / 1e6:.1f} Mops/s "
+      f"({doc['speedup_fabric_round']:.2f}x vs seed heap)")
 EOF
 else
   cmake -B build -S .

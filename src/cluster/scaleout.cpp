@@ -58,10 +58,20 @@ void FrontendPlane::wire(sim::Duration granularity) {
 
   // One channel per back end against the SHARED BackendMonitor: the
   // back end runs one daemon set however many front ends watch it.
+  // With verbs.shared_contexts > 0 the channels multiplex over a small
+  // DCT-style context pool (round-robin) instead of holding N dedicated
+  // NIC contexts each — the footprint a bounded QPC cache can hold.
+  const std::vector<std::shared_ptr<net::QpContext>> pool =
+      net::make_context_pool(plane_->fabric().nic(node_->id),
+                             plane_->config().verbs);
   for (int b = 0; b < n; ++b) {
+    std::shared_ptr<net::QpContext> ctx =
+        pool.empty() ? nullptr : pool[static_cast<std::size_t>(b) % pool.size()];
     lb_.add_backend(std::make_unique<monitor::MonitorChannel>(
-        plane_->fabric(), *node_, plane_->backend_monitor(b)));
+        plane_->fabric(), *node_, plane_->backend_monitor(b),
+        std::move(ctx)));
   }
+  lb_.set_verbs_tuning(plane_->config().verbs);
   lb_.set_telemetry_instance(node_->name());
   lb_.set_poll_filter([this](std::size_t b) {
     return plane_->membership().owner_of(static_cast<int>(b)) == id_;

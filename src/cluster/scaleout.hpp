@@ -96,6 +96,13 @@ struct ScaleOutConfig {
   std::size_t view_bytes = 4096;
   RingConfig ring;
 
+  /// Verbs-layer tuning applied to every front end's monitoring channels
+  /// and scatter CQ: signal-every-k, inflight windows, DCT-style shared
+  /// contexts, CQ notification moderation (net::VerbsTuning). Defaults
+  /// reproduce the historical one-context-per-channel, signal-everything
+  /// behaviour byte-for-byte.
+  net::VerbsTuning verbs;
+
   /// Refresh strategy (monitor/inbox.hpp). The default Pull keeps the
   /// plane on classic polling — no inboxes, no publishers, behaviour
   /// byte-identical to before push existed. Push/Adaptive gives every

@@ -281,6 +281,10 @@ void LoadBalancer::start(os::Node& frontend, sim::Duration granularity) {
   // Harmless for Sequential mode: the blocking fetch path demuxes by
   // wr_id off the same CQ.
   for (auto& ch : channels_) scatter_.add(ch->frontend());
+  if (verbs_.cq_mod_count > 1) {
+    scatter_.cq().bind_moderation(frontend.simu(), verbs_.cq_mod_count,
+                                  verbs_.cq_mod_period);
+  }
   if (push_inbox_ != nullptr &&
       push_cfg_.strategy == monitor::MonitorStrategy::Adaptive) {
     // The pull side of the controller's cost model is by definition this

@@ -164,6 +164,14 @@ class LoadBalancer {
   void set_poll_mode(PollMode m) { poll_mode_ = m; }
   PollMode poll_mode() const { return poll_mode_; }
 
+  /// Verbs-layer tuning for the scatter engine's completion channel:
+  /// cq_mod_count/period moderate consumer wakeups on the shared CQ (the
+  /// signal-every-k and context-sharing halves live with the channels —
+  /// see net::make_context_pool). Call before start(); the defaults keep
+  /// the historical one-notify-per-completion behaviour.
+  void set_verbs_tuning(net::VerbsTuning t) { verbs_ = t; }
+  const net::VerbsTuning& verbs_tuning() const { return verbs_; }
+
   // --- push / adaptive strategy (monitor/inbox.hpp) ------------------------
   /// Enables the push-based refresh path: back end i's publisher targets
   /// slot i of `inbox` (which must have >= backends() slots and belong to
@@ -347,6 +355,7 @@ class LoadBalancer {
   WeightConfig weights_;
   HealthConfig health_cfg_;
   PollMode poll_mode_ = PollMode::Scatter;
+  net::VerbsTuning verbs_;  ///< CQ moderation for the scatter channel
   std::function<bool(std::size_t)> poll_filter_;  ///< shard ownership
   std::vector<std::function<void(const std::vector<std::size_t>&)>>
       round_cbs_;

@@ -103,10 +103,12 @@ void BackendMonitor::stop() {
 
 FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
                                  BackendMonitor& backend,
-                                 net::Socket* client_end)
+                                 net::Socket* client_end,
+                                 std::shared_ptr<net::QpContext> ctx)
     : backend_(&backend), frontend_(&frontend), sock_(client_end) {
   if (is_rdma(backend.config().scheme)) {
-    qp_.emplace(fabric.nic(frontend.id), backend.node().id, *cq_);
+    qp_.emplace(fabric.nic(frontend.id), backend.node().id, *cq_,
+                std::move(ctx));
   } else {
     assert(client_end != nullptr &&
            "socket schemes need the monitoring connection's client end");
@@ -298,7 +300,8 @@ os::Program FrontendMonitor::await_resolution(os::SimThread& self,
 }
 
 MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,
-                               os::Node& backend, MonitorConfig cfg) {
+                               os::Node& backend, MonitorConfig cfg,
+                               std::shared_ptr<net::QpContext> ctx) {
   owned_backend_ = std::make_unique<BackendMonitor>(fabric, backend, cfg);
   backend_monitor_ = owned_backend_.get();
   net::Socket* client_end = nullptr;
@@ -308,11 +311,12 @@ MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,
     client_end = &conn_->end_a();
   }
   frontend_monitor_ = std::make_unique<FrontendMonitor>(
-      fabric, frontend, *backend_monitor_, client_end);
+      fabric, frontend, *backend_monitor_, client_end, std::move(ctx));
 }
 
 MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,
-                               BackendMonitor& shared)
+                               BackendMonitor& shared,
+                               std::shared_ptr<net::QpContext> ctx)
     : backend_monitor_(&shared) {
   net::Socket* client_end = nullptr;
   if (!is_rdma(shared.config().scheme)) {
@@ -321,7 +325,7 @@ MonitorChannel::MonitorChannel(net::Fabric& fabric, os::Node& frontend,
     client_end = &conn_->end_a();
   }
   frontend_monitor_ = std::make_unique<FrontendMonitor>(
-      fabric, frontend, *backend_monitor_, client_end);
+      fabric, frontend, *backend_monitor_, client_end, std::move(ctx));
 }
 
 }  // namespace rdmamon::monitor

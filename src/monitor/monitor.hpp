@@ -136,8 +136,12 @@ class FrontendMonitor {
   };
 
   /// `client_end` is required for socket schemes, ignored for RDMA ones.
+  /// `ctx` (RDMA only) posts this monitor's READs through a shared
+  /// QpContext (DCT-style multiplexing + signal-every-k; see
+  /// net::VerbsTuning); null keeps a dedicated per-channel context.
   FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
-                  BackendMonitor& backend, net::Socket* client_end);
+                  BackendMonitor& backend, net::Socket* client_end,
+                  std::shared_ptr<net::QpContext> ctx = nullptr);
 
   /// Subprogram: one load fetch; fills `out`. Socket schemes do a
   /// request/response over the monitoring connection; RDMA schemes do a
@@ -234,9 +238,11 @@ class FrontendMonitor {
 /// socket schemes, QP/MR for RDMA) between a front-end and a back-end node.
 class MonitorChannel {
  public:
-  /// Creates the back-end half too (single-front-end wiring).
+  /// Creates the back-end half too (single-front-end wiring). `ctx`
+  /// optionally shares a verbs context across channels (RDMA only).
   MonitorChannel(net::Fabric& fabric, os::Node& frontend, os::Node& backend,
-                 MonitorConfig cfg);
+                 MonitorConfig cfg,
+                 std::shared_ptr<net::QpContext> ctx = nullptr);
 
   /// Attaches a new front end to an EXISTING back-end monitor (scale-out
   /// wiring: M front-ends share one daemon set / one registered MR per
@@ -244,7 +250,8 @@ class MonitorChannel {
   /// their own connection and reporting thread; RDMA schemes just a QP
   /// against the shared MR. `shared` must outlive this channel.
   MonitorChannel(net::Fabric& fabric, os::Node& frontend,
-                 BackendMonitor& shared);
+                 BackendMonitor& shared,
+                 std::shared_ptr<net::QpContext> ctx = nullptr);
 
   FrontendMonitor& frontend() { return *frontend_monitor_; }
   BackendMonitor& backend() { return *backend_monitor_; }

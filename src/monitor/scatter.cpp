@@ -36,6 +36,13 @@ void ScatterFetcher::resolve_metrics(sim::Simulation& simu) {
     reg.gauge("scatter.cq.forgets").set(static_cast<double>(cq_.forgets()));
     reg.gauge("scatter.cq.stale_dropped")
         .set(static_cast<double>(cq_.stale_dropped()));
+    reg.gauge("scatter.cq.signaled")
+        .set(static_cast<double>(cq_.cqes_signaled()));
+    reg.gauge("scatter.cq.unsignaled_retired")
+        .set(static_cast<double>(cq_.unsignaled_retired()));
+    reg.gauge("scatter.cq.notifies").set(static_cast<double>(cq_.notifies()));
+    reg.gauge("scatter.cq.coalesced_polls")
+        .set(static_cast<double>(cq_.coalesced_polls()));
   });
 }
 

@@ -53,6 +53,19 @@ struct FabricConfig {
   /// retry_cnt x local ACK timeout collapsed into one figure.
   sim::Duration rdma_retry_timeout = sim::msec(4);
 
+  /// Bounded NIC connection-context cache (QP contexts at the initiator,
+  /// MR entries at the target — the HCA's ICM cache, see net/qpcache.hpp).
+  /// 0 keeps the cache unbounded and entirely un-modelled (no penalty, no
+  /// accounting): the historical behaviour, and the default so existing
+  /// experiments replay byte-identically. Set to the on-chip entry count
+  /// to model RDMAvisor-style context thrash at high connection fan-out.
+  std::size_t nic_ctx_cache_entries = 0;
+  /// Cost of fetching one evicted context from host memory on a miss.
+  /// QP-context fetches serialise on the NIC's single fetch engine (the
+  /// thrash is a queueing collapse, not just an additive tax); MR fetches
+  /// stall the already-serialised DMA engine.
+  sim::Duration nic_ctx_miss_penalty = sim::nsec(450);
+
   /// Seed of the link-loss sampling stream (runs replay bit-for-bit).
   std::uint64_t fault_seed = 0x8d0fb18a12c5e3a7ull;
 

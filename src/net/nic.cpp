@@ -5,6 +5,10 @@
 namespace rdmamon::net {
 
 Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {
+  if (fabric.config().nic_ctx_cache_entries > 0) {
+    ctx_cache_ =
+        std::make_unique<NicCtxCache>(fabric.config().nic_ctx_cache_entries);
+  }
   // Snapshot-time export of the NIC's always-on introspection counters;
   // a no-op bind when no registry is installed.
   collector_.bind(fabric.simu(), [this](telemetry::Registry& reg) {
@@ -21,6 +25,14 @@ Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {
         .set(static_cast<double>(rdma_posted_));
     reg.gauge("net.nic.rdma_wire_bytes", by_node)
         .set(static_cast<double>(rdma_wire_bytes_));
+    reg.gauge("net.nic.qpc_hits", by_node)
+        .set(static_cast<double>(qpc_hits()));
+    reg.gauge("net.nic.qpc_misses", by_node)
+        .set(static_cast<double>(qpc_misses()));
+    reg.gauge("net.nic.qpc_evictions", by_node)
+        .set(static_cast<double>(qpc_evictions()));
+    reg.gauge("net.verbs.unsignaled_posted", by_node)
+        .set(static_cast<double>(unsignaled_posted_));
   });
   if (telemetry::Registry* reg = telemetry::Registry::of(fabric.simu())) {
     fr_ = reg->recorder().ring("net." + node.name());
@@ -114,11 +126,37 @@ MrKey Nic::register_mr(std::size_t bytes, std::function<std::any()> reader,
   return key;
 }
 
-bool Nic::deregister_mr(MrKey key) { return regions_.erase(key.key) > 0; }
+bool Nic::deregister_mr(MrKey key) {
+  if (ctx_cache_) ctx_cache_->erase(kMrKeyBit | key.key);
+  return regions_.erase(key.key) > 0;
+}
+
+sim::Duration Nic::charge_qpc(std::uint64_t ctx_id) {
+  if (ctx_cache_ == nullptr || ctx_id == 0) return sim::Duration{};
+  if (ctx_cache_->access(kQpcKey | ctx_id)) return sim::Duration{};
+  // Miss: the context is fetched from host memory through the NIC's one
+  // fetch engine — concurrent misses queue behind each other, so a post
+  // burst over more contexts than the cache holds collapses into a
+  // serial context-reload train (the RDMAvisor thrash regime).
+  sim::Simulation& simu = fabric_.simu();
+  const sim::TimePoint start =
+      ctx_fetch_busy_ > simu.now() ? ctx_fetch_busy_ : simu.now();
+  ctx_fetch_busy_ = start + fabric_.config().nic_ctx_miss_penalty;
+  return ctx_fetch_busy_ - simu.now();
+}
+
+sim::Duration Nic::charge_mr(std::uint32_t rkey) {
+  if (ctx_cache_ == nullptr) return sim::Duration{};
+  if (ctx_cache_->access(kMrKeyBit | rkey)) return sim::Duration{};
+  // MR entry miss stalls the (already serialised) DMA engine while the
+  // entry is fetched; the caller adds this to the service time.
+  return fabric_.config().nic_ctx_miss_penalty;
+}
 
 void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
                     std::uint64_t wr_id,
-                    std::function<void(Completion)> done) {
+                    std::function<void(Completion)> done,
+                    std::uint64_t ctx_id) {
   ++rdma_posted_;
   if (fr_ != nullptr) {
     // Flight-record the post and wrap `done` so every completion path
@@ -149,8 +187,13 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
     fail_after_retries(fabric_, std::move(c), std::move(done));
     return;
   }
+  // QP-context cache touch at the initiator: an evicted context delays
+  // the request by the (serialised) fetch penalty before it reaches the
+  // wire. Zero with the default unbounded cache.
+  const sim::Duration qpc_delay = charge_qpc(ctx_id);
   // Request packet to the target NIC.
-  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes) +
+  const sim::Duration req = qpc_delay +
+                            cfg.wire_delay(cfg.rdma_request_bytes) +
                             fabric_.link_extra(node_id(), target_node);
   Nic& target = fabric_.nic(target_node);
   simu.after(req, [&target, this, rkey, len, c,
@@ -164,11 +207,12 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
       fail_after_retries(fabric_, std::move(c), std::move(done));
       return;
     }
-    // DMA engine serialisation at the target NIC.
+    // DMA engine serialisation at the target NIC (an MR-entry cache miss
+    // stalls the engine for the fetch).
     const sim::TimePoint start =
         target.dma_busy_ > s.now() ? target.dma_busy_ : s.now();
     const sim::Duration service =
-        fc.rdma_dma_base +
+        target.charge_mr(rkey.key) + fc.rdma_dma_base +
         sim::nsec(static_cast<std::int64_t>(
             static_cast<double>(len) * fc.rdma_dma_per_byte_ns));
     target.dma_busy_ = start + service;
@@ -207,7 +251,8 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
 
 void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
                      std::size_t len, std::uint64_t wr_id,
-                     std::function<void(Completion)> done) {
+                     std::function<void(Completion)> done,
+                     std::uint64_t ctx_id) {
   ++rdma_posted_;
   if (fr_ != nullptr) {
     fr_->record("write.post", target_node, static_cast<std::int64_t>(wr_id),
@@ -233,7 +278,8 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
     return;
   }
   // Write carries the payload with the request.
-  const sim::Duration req = cfg.wire_delay(cfg.rdma_request_bytes + len) +
+  const sim::Duration req = charge_qpc(ctx_id) +
+                            cfg.wire_delay(cfg.rdma_request_bytes + len) +
                             fabric_.link_extra(node_id(), target_node);
   Nic& target = fabric_.nic(target_node);
   simu.after(req, [&target, this, rkey, len, c, value = std::move(value),
@@ -247,7 +293,7 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
     const sim::TimePoint start =
         target.dma_busy_ > s.now() ? target.dma_busy_ : s.now();
     const sim::Duration service =
-        fc.rdma_dma_base +
+        target.charge_mr(rkey.key) + fc.rdma_dma_base +
         sim::nsec(static_cast<std::int64_t>(
             static_cast<double>(len) * fc.rdma_dma_per_byte_ns));
     target.dma_busy_ = start + service;

@@ -14,8 +14,11 @@
 #include <functional>
 #include <unordered_map>
 
+#include <memory>
+
 #include "net/fabric.hpp"
 #include "net/message.hpp"
+#include "net/qpcache.hpp"
 #include "net/verbs.hpp"
 #include "os/node.hpp"
 #include "telemetry/registry.hpp"
@@ -55,15 +58,27 @@ class Nic {
 
   /// Initiator-side one-sided READ: request packet to the target NIC, DMA
   /// service there (no target CPU), response back, then `done` runs at the
-  /// initiator with the completion.
+  /// initiator with the completion. `ctx_id` names the posting QpContext
+  /// for the context-cache model (0 = uncontexted, never charged); with a
+  /// bounded cache configured, a QP-context miss delays the request by the
+  /// fetch penalty, serialised on the NIC's single fetch engine, and an MR
+  /// miss at the target stalls its DMA engine by the same penalty.
   void rdma_read(int target_node, MrKey rkey, std::size_t len,
-                 std::uint64_t wr_id, std::function<void(Completion)> done);
+                 std::uint64_t wr_id, std::function<void(Completion)> done,
+                 std::uint64_t ctx_id = 0);
 
   /// Initiator-side one-sided WRITE. Rejected with ProtectionError when the
   /// target region is not remote_writable.
   void rdma_write(int target_node, MrKey rkey, std::any value,
                   std::size_t len, std::uint64_t wr_id,
-                  std::function<void(Completion)> done);
+                  std::function<void(Completion)> done,
+                  std::uint64_t ctx_id = 0);
+
+  /// Allocates a NIC-unique QpContext identity (context-cache key space).
+  std::uint64_t alloc_ctx_id() { return next_ctx_id_++; }
+
+  /// Bookkeeping hook for QpContext: one WR posted unsignaled.
+  void count_unsignaled() { ++unsignaled_posted_; }
 
   // --- introspection ---------------------------------------------------------
   std::uint64_t tx_packets() const { return tx_packets_; }
@@ -77,9 +92,33 @@ class Nic {
   /// front-end NICs accumulate pull (READ) bytes, back-end NICs push
   /// (WRITE) bytes.
   std::uint64_t rdma_wire_bytes() const { return rdma_wire_bytes_; }
+  /// WRs posted through this NIC's contexts without a CQE request.
+  std::uint64_t unsignaled_posted() const { return unsignaled_posted_; }
+  /// Context-cache accounting (all zero while the cache is unbounded —
+  /// FabricConfig::nic_ctx_cache_entries == 0).
+  std::uint64_t qpc_hits() const { return ctx_cache_ ? ctx_cache_->hits() : 0; }
+  std::uint64_t qpc_misses() const {
+    return ctx_cache_ ? ctx_cache_->misses() : 0;
+  }
+  std::uint64_t qpc_evictions() const {
+    return ctx_cache_ ? ctx_cache_->evictions() : 0;
+  }
 
  private:
   friend class Fabric;
+
+  /// Context-cache key namespaces: one unified cache holds QP contexts
+  /// (initiator side) and MR entries (target side), like the real ICM.
+  static constexpr std::uint64_t kQpcKey = 1ull << 63;
+  static constexpr std::uint64_t kMrKeyBit = 1ull << 62;
+
+  /// Touches the initiator-side QP context `ctx_id`; on a miss returns
+  /// the delay until the single context-fetch engine has brought it in
+  /// (serialised across concurrent misses — the thrash regime).
+  sim::Duration charge_qpc(std::uint64_t ctx_id);
+  /// Touches the target-side MR entry; on a miss returns the penalty to
+  /// add to the DMA service time (the DMA engine already serialises).
+  sim::Duration charge_mr(std::uint32_t rkey);
 
   /// CPU chosen for the next NetRx interrupt (config fixed or round-robin).
   int pick_rx_cpu();
@@ -88,8 +127,12 @@ class Nic {
   os::Node& node_;
   std::unordered_map<std::uint32_t, MemoryRegion> regions_;
   std::uint32_t next_rkey_ = 1;
+  std::uint64_t next_ctx_id_ = 1;
   sim::TimePoint tx_busy_{};
   sim::TimePoint dma_busy_{};
+  sim::TimePoint ctx_fetch_busy_{};
+  /// Bounded connection-context cache; null when unbounded (default).
+  std::unique_ptr<NicCtxCache> ctx_cache_;
   int rr_cpu_ = 0;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;
@@ -97,6 +140,7 @@ class Nic {
   std::uint64_t rdma_served_ = 0;
   std::uint64_t rdma_posted_ = 0;
   std::uint64_t rdma_wire_bytes_ = 0;
+  std::uint64_t unsignaled_posted_ = 0;
   /// Publishes the counters above as gauges at snapshot time, so the
   /// hot packet paths need no extra bookkeeping.
   telemetry::ScopedCollector collector_;

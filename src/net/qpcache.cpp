@@ -1,0 +1,31 @@
+#include "net/qpcache.hpp"
+
+namespace rdmamon::net {
+
+bool NicCtxCache::access(std::uint64_t key) {
+  auto it = pos_.find(key);
+  if (it != pos_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+  }
+  ++misses_;
+  if (cap_ > 0 && pos_.size() >= cap_) {
+    ++evictions_;
+    pos_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(key);
+  pos_.emplace(key, lru_.begin());
+  return false;
+}
+
+bool NicCtxCache::erase(std::uint64_t key) {
+  auto it = pos_.find(key);
+  if (it == pos_.end()) return false;
+  lru_.erase(it->second);
+  pos_.erase(it);
+  return true;
+}
+
+}  // namespace rdmamon::net

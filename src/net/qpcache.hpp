@@ -1,0 +1,49 @@
+// Bounded NIC connection-context cache (the "ICM cache" of a real HCA):
+// the NIC keeps QP and MR contexts in a small on-chip SRAM backed by host
+// memory. While the working set fits, every post/DMA hits on-chip state;
+// once a front end talks to more connections than the cache holds, each
+// post first fetches the evicted context over PCIe — the RDMAvisor
+// observation of why one dedicated RC QP per peer collapses at datacenter
+// scale, and why DCT-style shared contexts restore flat cost.
+//
+// This class is only the replacement policy + accounting; the miss
+// penalty and its serialisation are charged by net::Nic.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace rdmamon::net {
+
+/// LRU set of context keys with hit/miss/eviction accounting. Keys are an
+/// opaque 64-bit space; net::Nic namespaces QP contexts and MR entries
+/// into disjoint halves of it (one unified cache, like the real ICM).
+class NicCtxCache {
+ public:
+  explicit NicCtxCache(std::size_t capacity) : cap_(capacity) {}
+
+  /// Touches `key`: true on hit (entry moved to MRU), false on miss (the
+  /// entry is brought in, evicting the LRU entry when full).
+  bool access(std::uint64_t key);
+
+  /// Drops `key` (context destroyed, e.g. an MR deregistration). Not an
+  /// eviction — the entry is invalid, not displaced. False if absent.
+  bool erase(std::uint64_t key);
+
+  std::size_t capacity() const { return cap_; }
+  std::size_t size() const { return pos_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t cap_;
+  std::list<std::uint64_t> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> pos_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace rdmamon::net

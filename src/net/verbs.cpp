@@ -1,5 +1,7 @@
 #include "net/verbs.hpp"
 
+#include <utility>
+
 #include "net/nic.hpp"
 #include "os/node.hpp"
 #include "os/thread.hpp"
@@ -23,6 +25,114 @@ void count_doorbell(os::SimThread& self, std::size_t wrs) {
 }
 
 }  // namespace
+
+// --- CompletionQueue ----------------------------------------------------------
+
+CompletionQueue::~CompletionQueue() { mod_timer_.cancel(); }
+
+void CompletionQueue::bind_moderation(sim::Simulation& simu, int count,
+                                      sim::Duration period) {
+  simu_ = &simu;
+  mod_count_ = count < 1 ? 1 : count;
+  mod_period_ = period;
+}
+
+void CompletionQueue::push(Completion c) {
+  ++pushed_;
+  if (forgotten_.erase(c.wr_id) > 0) {
+    ++stale_dropped_;  // abandoned WR: drop on arrival
+    return;
+  }
+  const bool urgent = c.status != WcStatus::Success;
+  ++cqes_signaled_;
+  q_.push_back(std::move(c));
+  note_surfaced(urgent);
+}
+
+void CompletionQueue::deliver(std::uint64_t ctx, std::uint64_t seq,
+                              bool signaled, Completion c) {
+  ++pushed_;
+  const bool error = c.status != WcStatus::Success;
+  CtxState& st = ctxs_[ctx];
+  if (signaled || error) {
+    // This CQE proves every earlier WR on the context retired (RC
+    // in-order execution): surface the shadowed successes first, in post
+    // order, then the CQE itself. Error CQEs are always generated, so an
+    // unsignaled WR that fails surfaces here too.
+    release_shadows(st, seq);
+    if (st.released_upto < seq + 1) st.released_upto = seq + 1;
+    if (forgotten_.erase(c.wr_id) > 0) {
+      ++stale_dropped_;
+      return;
+    }
+    if (signaled) ++cqes_signaled_;
+    q_.push_back(std::move(c));
+    note_surfaced(error);
+    return;
+  }
+  // Unsignaled success: no CQE. The data landed; the consumer learns of it
+  // when a closer proves the context's queue drained past it.
+  if (forgotten_.erase(c.wr_id) > 0) {
+    ++stale_dropped_;  // abandoned before arrival: never shadowed
+    return;
+  }
+  if (seq < st.released_upto) {
+    // A later closer already proved this seq done (completions of a
+    // shared multi-target context can arrive out of post order): the
+    // consumer may be waiting on it, surface immediately.
+    ++unsignaled_retired_;
+    q_.push_back(std::move(c));
+    note_surfaced(false);
+    return;
+  }
+  st.shadow.push_back(Shadowed{seq, std::move(c)});
+  ++shadow_count_;
+}
+
+void CompletionQueue::release_shadows(CtxState& st, std::uint64_t upto) {
+  for (auto it = st.shadow.begin(); it != st.shadow.end();) {
+    if (it->seq >= upto) {
+      ++it;
+      continue;
+    }
+    --shadow_count_;
+    if (forgotten_.erase(it->c.wr_id) > 0) {
+      ++stale_dropped_;
+    } else {
+      ++unsignaled_retired_;
+      q_.push_back(std::move(it->c));
+      note_surfaced(false);
+    }
+    it = st.shadow.erase(it);
+  }
+}
+
+void CompletionQueue::note_surfaced(bool urgent) {
+  ++since_fire_;
+  if (mod_count_ <= 1 || urgent || simu_ == nullptr ||
+      since_fire_ >= mod_count_) {
+    fire_notify();
+    return;
+  }
+  if (!mod_timer_armed_) {
+    mod_timer_armed_ = true;
+    mod_timer_ = simu_->after(mod_period_, [this] {
+      mod_timer_armed_ = false;
+      if (since_fire_ > 0) fire_notify();
+    });
+  }
+}
+
+void CompletionQueue::fire_notify() {
+  ++notifies_;
+  if (since_fire_ > 1) ++coalesced_polls_;
+  since_fire_ = 0;
+  if (mod_timer_armed_) {
+    mod_timer_.cancel();
+    mod_timer_armed_ = false;
+  }
+  wq_.notify_all();
+}
 
 const Completion* CompletionQueue::find(std::uint64_t wr_id) const {
   for (const Completion& c : q_) {
@@ -51,23 +161,137 @@ void CompletionQueue::forget(std::uint64_t wr_id) {
       return;
     }
   }
-  forgotten_.insert(wr_id);  // still in flight: drop at push()
+  // An unsignaled success abandoned mid-window sits in its context's
+  // shadow buffer, not in q_ — reclaim it there or its slot would leak
+  // until (and past) the closer, and the wr_id would ghost-surface.
+  for (auto& [ctx, st] : ctxs_) {
+    for (auto it = st.shadow.begin(); it != st.shadow.end(); ++it) {
+      if (it->c.wr_id == wr_id) {
+        st.shadow.erase(it);
+        --shadow_count_;
+        ++stale_dropped_;
+        return;
+      }
+    }
+  }
+  forgotten_.insert(wr_id);  // still in flight: drop at delivery
 }
 
-void QueuePair::post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id) {
-  local_->rdma_read(remote_node_, rkey, len, wr_id,
-                    [cq = cq_](Completion c) { cq->push(std::move(c)); });
+// --- QpContext ----------------------------------------------------------------
+
+QpContext::QpContext(Nic& local, int signal_every, std::size_t send_depth)
+    : local_(&local),
+      ctx_id_(local.alloc_ctx_id()),
+      signal_every_(signal_every < 1 ? 1 : signal_every),
+      send_depth_(send_depth) {}
+
+void QpContext::post_read(int target_node, MrKey rkey, std::size_t len,
+                          std::uint64_t wr_id, CompletionQueue& cq,
+                          bool force_signal) {
+  Pending p;
+  p.target = target_node;
+  p.rkey = rkey;
+  p.len = len;
+  p.wr_id = wr_id;
+  p.cq = &cq;
+  p.force_signal = force_signal;
+  submit(std::move(p));
+}
+
+void QpContext::post_write(int target_node, MrKey rkey, std::any value,
+                           std::size_t len, std::uint64_t wr_id,
+                           CompletionQueue& cq) {
+  Pending p;
+  p.is_write = true;
+  p.target = target_node;
+  p.rkey = rkey;
+  p.len = len;
+  p.wr_id = wr_id;
+  p.cq = &cq;
+  p.value = std::move(value);
+  submit(std::move(p));
+}
+
+void QpContext::submit(Pending p) {
+  if (send_depth_ > 0 && inflight_ >= send_depth_) {
+    // Window full: the post waits in FIFO order for a completion to free
+    // a slot — bounded send queues instead of unbounded NIC state.
+    ++deferred_total_;
+    deferred_.push_back(std::move(p));
+    return;
+  }
+  launch(std::move(p));
+}
+
+void QpContext::launch(Pending p) {
+  ++inflight_;
+  const std::uint64_t seq = seq_++;
+  const bool signaled = p.is_write || p.force_signal || signal_every_ <= 1 ||
+                        ((seq + 1) % static_cast<std::uint64_t>(
+                                         signal_every_) == 0);
+  if (!signaled) {
+    ++unsignaled_;
+    local_->count_unsignaled();
+  }
+  // The completion callback keeps the context alive (shared ownership):
+  // a pool handed out by make_context_pool may be dropped by the wiring
+  // layer while WRs are still in flight.
+  auto done = [self = shared_from_this(), cq = p.cq, seq,
+               signaled](Completion c) {
+    --self->inflight_;
+    if (!self->deferred_.empty() &&
+        (self->send_depth_ == 0 || self->inflight_ < self->send_depth_)) {
+      Pending next = std::move(self->deferred_.front());
+      self->deferred_.pop_front();
+      self->launch(std::move(next));
+    }
+    cq->deliver(self->ctx_id_, seq, signaled, std::move(c));
+  };
+  if (p.is_write) {
+    local_->rdma_write(p.target, p.rkey, std::move(p.value), p.len, p.wr_id,
+                       std::move(done), ctx_id_);
+  } else {
+    local_->rdma_read(p.target, p.rkey, p.len, p.wr_id, std::move(done),
+                      ctx_id_);
+  }
+}
+
+// --- QueuePair ----------------------------------------------------------------
+
+QueuePair::QueuePair(Nic& local, int remote_node, CompletionQueue& cq,
+                     std::shared_ptr<QpContext> ctx)
+    : remote_node_(remote_node),
+      cq_(&cq),
+      ctx_(ctx ? std::move(ctx) : std::make_shared<QpContext>(local)) {}
+
+void QueuePair::post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id,
+                          bool force_signal) {
+  ctx_->post_read(remote_node_, rkey, len, wr_id, *cq_, force_signal);
 }
 
 void QueuePair::post_read_batch(const std::vector<ReadWr>& wrs) {
-  for (const ReadWr& wr : wrs) post_read(wr.rkey, wr.len, wr.wr_id);
+  for (std::size_t i = 0; i < wrs.size(); ++i) {
+    post_read(wrs[i].rkey, wrs[i].len, wrs[i].wr_id,
+              /*force_signal=*/i + 1 == wrs.size());
+  }
 }
 
 void QueuePair::post_write(MrKey rkey, std::any value, std::size_t len,
                            std::uint64_t wr_id) {
-  local_->rdma_write(remote_node_, rkey, std::move(value), len, wr_id,
-                     [cq = cq_](Completion c) { cq->push(std::move(c)); });
+  ctx_->post_write(remote_node_, rkey, std::move(value), len, wr_id, *cq_);
 }
+
+std::vector<std::shared_ptr<QpContext>> make_context_pool(
+    Nic& nic, const VerbsTuning& tuning) {
+  std::vector<std::shared_ptr<QpContext>> pool;
+  for (int i = 0; i < tuning.shared_contexts; ++i) {
+    pool.push_back(std::make_shared<QpContext>(nic, tuning.signal_every,
+                                               tuning.send_depth));
+  }
+  return pool;
+}
+
+// --- posting subprograms ------------------------------------------------------
 
 os::Program post_read_batch(os::SimThread& self,
                             const std::vector<ReadBatchEntry>& batch) {
@@ -76,8 +300,19 @@ os::Program post_read_batch(os::SimThread& self,
   // writes into the send queue(s), free at this resolution.
   co_await os::Compute{kDoorbellCost};
   count_doorbell(self, batch.size());
-  for (const ReadBatchEntry& e : batch) {
-    e.qp->post_read(e.rkey, e.len, e.wr_id);
+  // Close every context's chain: the LAST WR posted through each distinct
+  // QpContext is force-signaled, so a signal-every-k context never ends a
+  // burst with an unprovable unsignaled tail. With dedicated contexts
+  // (defaults) every entry is its context's last — all signaled, the
+  // historical behaviour.
+  std::unordered_map<const QpContext*, std::size_t> last;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    last[&batch[i].qp->context()] = i;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const ReadBatchEntry& e = batch[i];
+    e.qp->post_read(e.rkey, e.len, e.wr_id,
+                    /*force_signal=*/last[&e.qp->context()] == i);
   }
 }
 

@@ -7,17 +7,39 @@
 //    service instant* (a reader callback samples it then).
 //  - Regions registered read-only reject remote writes with a protection
 //    error — the paper's Section 6 security argument.
+//
+// On top of the basic primitives sits the verbs fast path used at scale
+// (rdmaperf's -cq_mod / -tx knobs, RDMAvisor's shared connections):
+//
+//  - selective signaling: a QpContext posting with signal_every = k marks
+//    only every k-th WR signaled; an unsignaled WR that SUCCEEDS raises no
+//    CQE (its data still lands) and is proven complete by the next
+//    signaled/error completion on the same context (RC ordering). Error
+//    completions always surface immediately.
+//  - completion coalescing: a CQ bound to a moderation config batches its
+//    wait-queue notifications (count or period, errors flush), so one
+//    consumer wakeup drains many completions.
+//  - inflight windows: a QpContext with send_depth > 0 defers posts past
+//    the window and drains them as completions free slots (backpressure
+//    instead of unbounded send queues).
+//  - shared contexts: many QueuePairs may post through ONE QpContext
+//    (DCT-style multiplexing) so a front end watching thousands of back
+//    ends occupies a handful of NIC context-cache entries instead of
+//    thrashing it (see net/qpcache.hpp).
 #pragma once
 
 #include <any>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "os/program.hpp"
 #include "os/wait.hpp"
+#include "sim/simulation.hpp"
 #include "sim/time.hpp"
 
 namespace rdmamon::net {
@@ -28,6 +50,26 @@ class Nic;
 /// batch of posts — the RDMAbox-style amortisation the scatter engine
 /// exploits).
 inline constexpr sim::Duration kDoorbellCost = sim::nsec(300);
+
+/// Verbs fast-path knobs, carried from ClusterConfig / ScaleOutConfig down
+/// to the wiring that creates contexts and CQs. The defaults reproduce the
+/// historical behaviour exactly: every WR signaled, every completion
+/// notified immediately, unbounded send queues, one dedicated context per
+/// QueuePair.
+struct VerbsTuning {
+  /// Signal every k-th WR (rdmaperf -cq_mod). 1 = all signaled.
+  int signal_every = 1;
+  /// Per-context inflight window (rdmaperf -tx). 0 = unbounded.
+  std::size_t send_depth = 0;
+  /// DCT-style shared contexts per front end: monitoring QPs round-robin
+  /// over this many QpContexts instead of each owning one. 0 = dedicated.
+  int shared_contexts = 0;
+  /// CQ notification moderation: wake the consumer only per this many
+  /// surfaced completions (1 = immediate)...
+  int cq_mod_count = 1;
+  /// ...or when this much time passed since the first held notification.
+  sim::Duration cq_mod_period = sim::usec(16);
+};
 
 /// Remote key naming a registered memory region on some node's NIC.
 struct MrKey {
@@ -68,19 +110,39 @@ struct Completion {
 /// consumers match completions by wr_id, with ids handed out by
 /// alloc_wr_id() so they are unique per CQ. Stale-completion handling is
 /// centralized here — a consumer that gives up on a WR calls forget() and
-/// the CQ drops that completion whether it is already queued or still in
-/// flight, so no caller ever needs its own discard loop.
+/// the CQ drops that completion whether it is already queued, still in
+/// flight, or held unsignaled in a context's shadow buffer, so no caller
+/// ever needs its own discard loop.
+///
+/// Selective signaling: QpContexts deliver through deliver(), which holds
+/// an unsignaled SUCCESS in a per-context shadow buffer (no CQE, no
+/// notification) until a later signaled or error completion on the same
+/// context proves — by RC in-order execution — that it retired; then the
+/// shadowed data surfaces for the consumer in post order. Errors always
+/// surface immediately. Consumers are unaffected: find/try_pop/pop see
+/// surfaced completions only.
 class CompletionQueue {
  public:
-  void push(Completion c) {
-    ++pushed_;
-    if (forgotten_.erase(c.wr_id) > 0) {
-      ++stale_dropped_;  // abandoned WR: drop on arrival
-      return;
-    }
-    q_.push_back(std::move(c));
-    wq_.notify_all();
-  }
+  CompletionQueue() = default;
+  ~CompletionQueue();
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Context-free delivery (always signaled). Kept for direct users; the
+  /// QueuePair path goes through deliver().
+  void push(Completion c);
+
+  /// Delivery from a QpContext: `seq` is the WR's per-context post
+  /// sequence, `signaled` whether it carries a CQE.
+  void deliver(std::uint64_t ctx, std::uint64_t seq, bool signaled,
+               Completion c);
+
+  /// Enables notification moderation (VerbsTuning::cq_mod_*): wait-queue
+  /// wakeups are batched per `count` surfaced completions, with a timer
+  /// flushing a partial batch after `period`. Errors flush immediately.
+  /// Call before completions flow; `simu` drives the flush timer.
+  void bind_moderation(sim::Simulation& simu, int count, sim::Duration period);
+
   bool empty() const { return q_.empty(); }
   std::size_t size() const { return q_.size(); }
   Completion pop() {
@@ -104,29 +166,131 @@ class CompletionQueue {
   bool try_pop(std::uint64_t wr_id, Completion& out);
 
   /// Abandons a WR (e.g. its deadline passed): a queued completion with
-  /// this id is dropped now; one still in flight is dropped when it lands.
-  /// The RC fabric always produces exactly one completion per WR, so every
-  /// forgotten id is eventually reclaimed.
+  /// this id is dropped now; one held unsignaled in a shadow buffer is
+  /// reclaimed now; one still in flight is dropped when it lands. The RC
+  /// fabric always produces exactly one completion per WR, so every
+  /// forgotten id is eventually reclaimed — including unsignaled WRs
+  /// abandoned mid-window, which must not leak their shadow slot.
   void forget(std::uint64_t wr_id);
 
   os::WaitQueue& wait_queue() { return wq_; }
 
   // --- introspection (exported through the telemetry plane) ----------------
-  /// Completions delivered by the fabric (including ones dropped stale).
+  /// Completions delivered by the fabric (including ones dropped stale and
+  /// unsignaled ones held in shadow).
   std::uint64_t completions_pushed() const { return pushed_; }
   /// forget() calls (attempts abandoned past their deadline).
   std::uint64_t forgets() const { return forgets_; }
-  /// Forgotten-WR completions discarded (on arrival or already queued).
+  /// Forgotten-WR completions discarded (on arrival, queued, or shadowed).
   std::uint64_t stale_dropped() const { return stale_dropped_; }
+  /// CQEs that surfaced carrying a signal (the ~N/k of a moderated round).
+  std::uint64_t cqes_signaled() const { return cqes_signaled_; }
+  /// Unsignaled successes retired via a later closer's CQE.
+  std::uint64_t unsignaled_retired() const { return unsignaled_retired_; }
+  /// Wait-queue notification batches fired.
+  std::uint64_t notifies() const { return notifies_; }
+  /// Notification batches that covered more than one completion — polls
+  /// the consumer saved relative to signal-everything.
+  std::uint64_t coalesced_polls() const { return coalesced_polls_; }
+  /// Unsignaled successes currently held awaiting a closer.
+  std::size_t shadowed() const { return shadow_count_; }
 
  private:
+  struct Shadowed {
+    std::uint64_t seq = 0;
+    Completion c;
+  };
+  struct CtxState {
+    std::deque<Shadowed> shadow;     ///< unsignaled successes, post order
+    std::uint64_t released_upto = 0; ///< every seq below is proven retired
+  };
+
+  /// Surfaces earlier shadowed successes of `st` proven complete by a CQE
+  /// with sequence `upto` (exclusive).
+  void release_shadows(CtxState& st, std::uint64_t upto);
+  /// One completion surfaced into q_: apply the notification policy.
+  void note_surfaced(bool urgent);
+  void fire_notify();
+
   std::deque<Completion> q_;
   std::unordered_set<std::uint64_t> forgotten_;
+  std::unordered_map<std::uint64_t, CtxState> ctxs_;
   std::uint64_t next_wr_id_ = 1;
   std::uint64_t pushed_ = 0;
   std::uint64_t forgets_ = 0;
   std::uint64_t stale_dropped_ = 0;
+  std::uint64_t cqes_signaled_ = 0;
+  std::uint64_t unsignaled_retired_ = 0;
+  std::uint64_t notifies_ = 0;
+  std::uint64_t coalesced_polls_ = 0;
+  std::size_t shadow_count_ = 0;
+  // Notification moderation (bind_moderation; defaults = immediate).
+  sim::Simulation* simu_ = nullptr;
+  int mod_count_ = 1;
+  sim::Duration mod_period_{};
+  sim::EventHandle mod_timer_;
+  bool mod_timer_armed_ = false;
+  int since_fire_ = 0;  ///< surfaced completions since the last wakeup
   os::WaitQueue wq_;
+};
+
+/// NIC-resident connection context: the send queue a QueuePair posts
+/// through, carrying the signal-every-k policy, the inflight window, and
+/// the identity the NIC's context cache is keyed on. One per QueuePair by
+/// default (dedicated RC); share one across many QueuePairs for DCT-style
+/// multiplexing. Always hold via shared_ptr (completions keep it alive).
+class QpContext : public std::enable_shared_from_this<QpContext> {
+ public:
+  explicit QpContext(Nic& local, int signal_every = 1,
+                     std::size_t send_depth = 0);
+
+  /// Posts a READ through this context to `target_node`, completing into
+  /// `cq`. `force_signal` overrides the every-k policy (chain closers,
+  /// solitary posts a consumer synchronously waits on).
+  void post_read(int target_node, MrKey rkey, std::size_t len,
+                 std::uint64_t wr_id, CompletionQueue& cq, bool force_signal);
+
+  /// Posts a WRITE. Writes are always signaled (the publishers that use
+  /// them are completion-driven) but share the inflight window.
+  void post_write(int target_node, MrKey rkey, std::any value,
+                  std::size_t len, std::uint64_t wr_id, CompletionQueue& cq);
+
+  /// NIC context-cache identity (nonzero; allocated by the local NIC).
+  std::uint64_t ctx_id() const { return ctx_id_; }
+  int signal_every() const { return signal_every_; }
+  std::size_t send_depth() const { return send_depth_; }
+
+  // --- introspection --------------------------------------------------------
+  std::size_t inflight() const { return inflight_; }
+  std::size_t deferred_pending() const { return deferred_.size(); }
+  std::uint64_t unsignaled_posted() const { return unsignaled_; }
+  /// Posts that hit the window and waited for a free slot.
+  std::uint64_t deferred_total() const { return deferred_total_; }
+
+ private:
+  struct Pending {
+    bool is_write = false;
+    int target = -1;
+    MrKey rkey;
+    std::size_t len = 0;
+    std::uint64_t wr_id = 0;
+    CompletionQueue* cq = nullptr;
+    bool force_signal = true;
+    std::any value;  ///< writes only
+  };
+
+  void submit(Pending p);
+  void launch(Pending p);
+
+  Nic* local_;
+  std::uint64_t ctx_id_;
+  int signal_every_;
+  std::size_t send_depth_;
+  std::uint64_t seq_ = 0;      ///< per-context post sequence (launch order)
+  std::size_t inflight_ = 0;
+  std::deque<Pending> deferred_;
+  std::uint64_t unsignaled_ = 0;
+  std::uint64_t deferred_total_ = 0;
 };
 
 /// One work request of a multi-READ post (see QueuePair::post_read_batch).
@@ -136,19 +300,28 @@ struct ReadWr {
   std::uint64_t wr_id = 0;
 };
 
-/// Reliable-connected queue pair from a local NIC to a remote node.
+/// Reliable-connected queue pair from a local NIC to a remote node. Posts
+/// flow through its QpContext — a private one by default, or a shared one
+/// passed at construction (DCT-style multiplexing; the context's NIC must
+/// be the same `local`).
 class QueuePair {
  public:
-  QueuePair(Nic& local, int remote_node, CompletionQueue& cq)
-      : local_(&local), remote_node_(remote_node), cq_(&cq) {}
+  QueuePair(Nic& local, int remote_node, CompletionQueue& cq,
+            std::shared_ptr<QpContext> ctx = nullptr);
 
   /// Posts a one-sided READ of `len` bytes from the remote region `rkey`.
-  /// Completion (with the sampled data) lands in the CQ.
-  void post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id);
+  /// Completion (with the sampled data) lands in the CQ. `force_signal`
+  /// defaults true: a solitary post must carry its own CQE or a waiting
+  /// consumer would hang; batched posts pass false and let the context's
+  /// signal-every-k policy decide (the batch closer is forced).
+  void post_read(MrKey rkey, std::size_t len, std::uint64_t wr_id,
+                 bool force_signal = true);
 
   /// Posts a chain of READs as one work-request list: every WR is handed
   /// to the NIC back-to-back and the caller pays a single doorbell cost
   /// for the whole chain (charged by the posting subprogram, not here).
+  /// The chain's last WR is force-signaled; the rest follow the context's
+  /// signaling policy.
   void post_read_batch(const std::vector<ReadWr>& wrs);
 
   /// Posts a one-sided WRITE of `value` to the remote region `rkey`.
@@ -161,12 +334,21 @@ class QueuePair {
 
   int remote_node() const { return remote_node_; }
   CompletionQueue& cq() { return *cq_; }
+  QpContext& context() { return *ctx_; }
+  const QpContext& context() const { return *ctx_; }
+  const std::shared_ptr<QpContext>& context_ptr() const { return ctx_; }
 
  private:
-  Nic* local_;
   int remote_node_;
   CompletionQueue* cq_;
+  std::shared_ptr<QpContext> ctx_;
 };
+
+/// Builds a pool of `tuning.shared_contexts` contexts on `nic` for
+/// DCT-style multiplexed wiring (assign QueuePair i the context
+/// pool[i % size]). Empty when shared_contexts <= 0 — dedicated mode.
+std::vector<std::shared_ptr<QpContext>> make_context_pool(
+    Nic& nic, const VerbsTuning& tuning);
 
 /// One entry of a cross-QP scatter batch: a READ on some QP. The QPs may
 /// target different remote nodes; sharing one CQ lets a single gatherer
@@ -180,7 +362,11 @@ struct ReadBatchEntry {
 
 /// Subprogram: posts every READ in `batch` back-to-back, charging ONE
 /// doorbell cost for the lot — the WR-merging trick (RDMAbox) that makes a
-/// scatter round's issue phase O(1) in doorbells instead of O(N).
+/// scatter round's issue phase O(1) in doorbells instead of O(N). The
+/// last WR of each distinct QpContext in the batch is force-signaled so
+/// every context's chain closes with a CQE; the rest follow the contexts'
+/// signal-every-k policy — a round of N READs over shared contexts
+/// retires with ~N/k CQEs.
 os::Program post_read_batch(os::SimThread& self,
                             const std::vector<ReadBatchEntry>& batch);
 

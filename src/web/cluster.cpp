@@ -30,6 +30,8 @@ ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
     // closed-loop clients unblock and retraffic the survivors.
     dispatchers_.back()->enable_failover();
 
+    const std::vector<std::shared_ptr<net::QpContext>> pool =
+        net::make_context_pool(fabric_->nic(fe.id), cfg_.verbs);
     for (int i = 0; i < cfg_.backends; ++i) {
       os::NodeConfig ncfg = cfg_.backend_node;
       ncfg.name = "backend" + std::to_string(i);
@@ -39,9 +41,13 @@ ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
       servers_.push_back(
           std::make_unique<WebServer>(*fabric_, node, cfg_.server));
       dispatchers_.back()->add_backend(*servers_.back());
+      std::shared_ptr<net::QpContext> ctx =
+          pool.empty() ? nullptr
+                       : pool[static_cast<std::size_t>(i) % pool.size()];
       lb_->add_backend(std::make_unique<monitor::MonitorChannel>(
-          *fabric_, fe, node, mcfg));
+          *fabric_, fe, node, mcfg, std::move(ctx)));
     }
+    lb_->set_verbs_tuning(cfg_.verbs);
     lb_->set_poll_mode(cfg_.lb_poll_mode);
     lb_->start(fe, cfg_.lb_granularity);
   } else {
@@ -49,8 +55,9 @@ ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
     // plane owns the balancers (one per front end, poll-filtered to its
     // ring shard) and the shared per-back-end monitors; each front end
     // gets its own dispatcher over every server.
-    plane_ = std::make_unique<cluster::ScaleOutPlane>(*fabric_, cfg_.scaleout,
-                                                      mcfg);
+    cluster::ScaleOutConfig scfg = cfg_.scaleout;
+    scfg.verbs = cfg_.verbs;
+    plane_ = std::make_unique<cluster::ScaleOutPlane>(*fabric_, scfg, mcfg);
     for (int m = 0; m < cfg_.frontends; ++m) {
       os::NodeConfig ncfg = cfg_.frontend_node;
       ncfg.name = "frontend" + std::to_string(m);

@@ -55,6 +55,11 @@ struct ClusterConfig {
   /// Poll strategy of the balancer's refresh loop (scatter by default;
   /// Sequential reproduces the original O(N) sweep).
   lb::PollMode lb_poll_mode = lb::PollMode::Scatter;
+  /// Verbs fast-path tuning of the monitoring channels (signal-every-k,
+  /// inflight windows, shared contexts, CQ moderation). Applied in both
+  /// single-front-end and scale-out mode; the defaults keep the
+  /// historical behaviour byte-identical.
+  net::VerbsTuning verbs;
 
   ClusterConfig() {
     backend_node.name = "backend";

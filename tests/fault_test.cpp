@@ -17,6 +17,8 @@
 #include "lb/balancer.hpp"
 #include "monitor/monitor.hpp"
 #include "net/fabric.hpp"
+#include "net/nic.hpp"
+#include "net/verbs.hpp"
 #include "os/node.hpp"
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
@@ -202,6 +204,98 @@ TEST(LinkFault, RetriesSurviveALossyDegradedLink) {
   EXPECT_GE(okay, 20);
   // The loss actually bit: some fetches needed more than one attempt.
   EXPECT_GT(attempts.max(), 1.0);
+}
+
+// --- selective signaling under faults ----------------------------------------
+//
+// An unsignaled WR relies on a LATER completion to prove it retired; these
+// scenarios kill the peer at every point of that dependency and check the
+// chain still resolves deterministically — error-complete or forget, never
+// a leaked shadow slot, never a hang.
+
+TEST(VerbsFault, CrashBeforeUnsignaledWrsErrorCompletesEveryOne) {
+  // Peer dead before anything lands: all four unsignaled WRs must
+  // individually error-complete (RC generates error CQEs regardless of
+  // the signal flag) — none may sit in the shadow buffer waiting for a
+  // closer that cannot come.
+  Env env;
+  net::MrKey key =
+      env.fabric.nic(1).register_mr(64, [] { return std::any(1); });
+  net::CompletionQueue cq;
+  auto ctx = std::make_shared<net::QpContext>(env.fabric.nic(0),
+                                              /*signal_every=*/8);
+  net::QueuePair qp(env.fabric.nic(0), env.backend.id, cq, ctx);
+  env.fabric.inject_crash(env.backend.id);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(cq.alloc_wr_id());
+  for (const std::uint64_t id : ids) {
+    qp.post_read(key, 64, id, /*force_signal=*/false);
+  }
+  env.simu.run_for(seconds(1));
+  net::Completion c;
+  for (const std::uint64_t id : ids) {
+    ASSERT_TRUE(cq.try_pop(id, c));
+    EXPECT_EQ(c.status, net::WcStatus::RetryExceeded);
+  }
+  EXPECT_EQ(cq.shadowed(), 0u);
+}
+
+TEST(VerbsFault, CrashBetweenUnsignaledWrAndCloserStillReleasesIt) {
+  // The nasty interleaving: WR A lands (success, unsignaled, shadowed),
+  // THEN the peer dies, THEN the signaled closer B is posted into the
+  // void. B's error completion must still prove A retired — A surfaces
+  // as the success it was, B carries the transport error.
+  Env env;
+  net::MrKey key =
+      env.fabric.nic(1).register_mr(64, [] { return std::any(7); });
+  net::CompletionQueue cq;
+  auto ctx = std::make_shared<net::QpContext>(env.fabric.nic(0),
+                                              /*signal_every=*/16);
+  net::QueuePair qp(env.fabric.nic(0), env.backend.id, cq, ctx);
+  const std::uint64_t a = cq.alloc_wr_id();
+  qp.post_read(key, 64, a, /*force_signal=*/false);
+  env.simu.run_for(msec(5));
+  ASSERT_EQ(cq.shadowed(), 1u);  // A is held awaiting a closer
+  env.fabric.inject_crash(env.backend.id);
+  const std::uint64_t b = cq.alloc_wr_id();
+  qp.post_read(key, 64, b, /*force_signal=*/true);
+  env.simu.run_for(seconds(1));
+  net::Completion c;
+  ASSERT_TRUE(cq.try_pop(a, c));
+  EXPECT_EQ(c.status, net::WcStatus::Success);
+  EXPECT_EQ(std::any_cast<int>(c.data), 7);
+  ASSERT_TRUE(cq.try_pop(b, c));
+  EXPECT_EQ(c.status, net::WcStatus::RetryExceeded);
+  EXPECT_EQ(cq.shadowed(), 0u);
+}
+
+TEST(VerbsFault, ForgottenUnsignaledWrsNeverSurfaceAfterCrash) {
+  // Consumer gives up mid-chain: one WR already shadowed (reclaimed on
+  // the spot), one still in flight against the dead peer (dropped when
+  // its error completion lands). Exactly one reclaim each, no ghosts.
+  Env env;
+  net::MrKey key =
+      env.fabric.nic(1).register_mr(64, [] { return std::any(1); });
+  net::CompletionQueue cq;
+  auto ctx = std::make_shared<net::QpContext>(env.fabric.nic(0),
+                                              /*signal_every=*/16);
+  net::QueuePair qp(env.fabric.nic(0), env.backend.id, cq, ctx);
+  const std::uint64_t a = cq.alloc_wr_id();
+  qp.post_read(key, 64, a, /*force_signal=*/false);
+  env.simu.run_for(msec(5));
+  ASSERT_EQ(cq.shadowed(), 1u);
+  env.fabric.inject_crash(env.backend.id);
+  const std::uint64_t b = cq.alloc_wr_id();
+  qp.post_read(key, 64, b, /*force_signal=*/false);
+  cq.forget(a);  // shadowed: reclaimed immediately
+  cq.forget(b);  // in flight: dropped on arrival
+  EXPECT_EQ(cq.shadowed(), 0u);
+  env.simu.run_for(seconds(1));
+  EXPECT_TRUE(cq.empty());
+  EXPECT_EQ(cq.stale_dropped(), 2u);
+  net::Completion c;
+  EXPECT_FALSE(cq.try_pop(a, c));
+  EXPECT_FALSE(cq.try_pop(b, c));
 }
 
 // --- balancer failure detector ----------------------------------------------

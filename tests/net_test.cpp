@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <any>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/fabric.hpp"
 #include "net/nic.hpp"
@@ -353,6 +355,260 @@ TEST(Socket, LatencyDegradesWithTargetCpuLoad) {
   const double unloaded = measure(0);
   const double loaded = measure(8);
   EXPECT_GT(loaded, unloaded * 3);
+}
+
+// --- verbs fast path: selective signaling, windows, moderation ---------------
+
+TEST(SelectiveSignaling, UnsignaledSuccessesRetireViaTheCloser) {
+  // signal-every-4 over 8 READs: every completion is still delivered to
+  // the consumer (the shadow buffer surfaces unsignaled successes when a
+  // closer proves them retired), but only 2 CQEs were generated.
+  TwoNodes env;
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(5); });
+  CompletionQueue cq;
+  auto ctx = std::make_shared<QpContext>(env.fabric.nic(0),
+                                         /*signal_every=*/4);
+  QueuePair qp(env.fabric.nic(0), 1, cq, ctx);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(cq.alloc_wr_id());
+  for (const std::uint64_t id : ids) {
+    qp.post_read(key, 64, id, /*force_signal=*/false);
+  }
+  env.simu.run_for(msec(10));
+  ASSERT_EQ(cq.size(), 8u);
+  Completion c;
+  for (const std::uint64_t id : ids) {
+    ASSERT_TRUE(cq.try_pop(id, c));
+    EXPECT_EQ(c.status, WcStatus::Success);
+    EXPECT_EQ(std::any_cast<int>(c.data), 5);
+  }
+  EXPECT_EQ(cq.cqes_signaled(), 2u);       // seq 4 and seq 8
+  EXPECT_EQ(cq.unsignaled_retired(), 6u);  // proven by the two closers
+  EXPECT_EQ(ctx->unsignaled_posted(), 6u);
+  EXPECT_EQ(env.fabric.nic(0).unsignaled_posted(), 6u);
+  EXPECT_EQ(cq.shadowed(), 0u);
+}
+
+TEST(SelectiveSignaling, UnsignaledErrorSurfacesImmediately) {
+  // An unsignaled WR that FAILS must not wait for a closer: error
+  // completions are always generated (real RC flushes the queue).
+  TwoNodes env;
+  CompletionQueue cq;
+  auto ctx = std::make_shared<QpContext>(env.fabric.nic(0),
+                                         /*signal_every=*/8);
+  QueuePair qp(env.fabric.nic(0), 1, cq, ctx);
+  const std::uint64_t wr = cq.alloc_wr_id();
+  qp.post_read(MrKey{4242}, 64, wr, /*force_signal=*/false);  // bad rkey
+  env.simu.run_for(msec(10));
+  Completion c;
+  ASSERT_TRUE(cq.try_pop(wr, c));  // no closer was ever posted
+  EXPECT_EQ(c.status, WcStatus::InvalidKey);
+  EXPECT_EQ(cq.shadowed(), 0u);
+}
+
+TEST(SelectiveSignaling, ForgetReclaimsAShadowedUnsignaledWr) {
+  // The leak regression: a WR posted unsignaled SUCCEEDS (held in the
+  // shadow buffer awaiting a closer) and is then abandoned. forget()
+  // must reclaim the shadow slot right away — not at the next closer,
+  // and the id must never ghost-surface afterwards.
+  TwoNodes env;
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(1); });
+  CompletionQueue cq;
+  auto ctx = std::make_shared<QpContext>(env.fabric.nic(0),
+                                         /*signal_every=*/16);
+  QueuePair qp(env.fabric.nic(0), 1, cq, ctx);
+  const std::uint64_t wr = cq.alloc_wr_id();
+  qp.post_read(key, 64, wr, /*force_signal=*/false);
+  env.simu.run_for(msec(5));  // success landed: shadowed, no CQE
+  EXPECT_EQ(cq.shadowed(), 1u);
+  EXPECT_TRUE(cq.empty());
+  cq.forget(wr);
+  EXPECT_EQ(cq.shadowed(), 0u);  // reclaimed now
+  EXPECT_EQ(cq.stale_dropped(), 1u);
+  const std::uint64_t closer = cq.alloc_wr_id();
+  qp.post_read(key, 64, closer, /*force_signal=*/true);
+  env.simu.run_for(msec(5));
+  Completion c;
+  EXPECT_FALSE(cq.try_pop(wr, c));  // the forgotten WR never surfaces
+  ASSERT_TRUE(cq.try_pop(closer, c));
+  EXPECT_EQ(c.status, WcStatus::Success);
+  EXPECT_EQ(cq.shadowed(), 0u);
+}
+
+TEST(InflightWindow, PostsBeyondTheWindowDeferAndDrain) {
+  TwoNodes env;
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(2); });
+  CompletionQueue cq;
+  auto ctx = std::make_shared<QpContext>(env.fabric.nic(0),
+                                         /*signal_every=*/1,
+                                         /*send_depth=*/2);
+  QueuePair qp(env.fabric.nic(0), 1, cq, ctx);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(cq.alloc_wr_id());
+  for (const std::uint64_t id : ids) qp.post_read(key, 64, id);
+  EXPECT_EQ(ctx->inflight(), 2u);  // window full, the rest queued
+  EXPECT_EQ(ctx->deferred_pending(), 4u);
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(ctx->inflight(), 0u);
+  EXPECT_EQ(ctx->deferred_pending(), 0u);
+  EXPECT_EQ(ctx->deferred_total(), 4u);
+  Completion c;
+  for (const std::uint64_t id : ids) {
+    ASSERT_TRUE(cq.try_pop(id, c));
+    EXPECT_EQ(c.status, WcStatus::Success);
+  }
+}
+
+TEST(CqModeration, BatchesNotificationsPerCount) {
+  // cq_mod 4 over 8 completions: the consumer is woken twice, each wakeup
+  // draining a 4-completion batch.
+  TwoNodes env;
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(3); });
+  CompletionQueue cq;
+  cq.bind_moderation(env.simu, /*count=*/4, /*period=*/msec(1));
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  int wakeups = 0;
+  env.a.spawn("reaper", [&](SimThread& self) -> Program {
+    std::size_t drained = 0;
+    while (drained < 8) {
+      co_await os::WaitOn{&cq.wait_queue()};
+      ++wakeups;
+      while (!cq.empty()) {
+        cq.pop();
+        ++drained;
+      }
+    }
+  });
+  for (int i = 0; i < 8; ++i) qp.post_read(key, 64, cq.alloc_wr_id());
+  env.simu.run_for(msec(20));
+  EXPECT_EQ(wakeups, 2);
+  EXPECT_EQ(cq.notifies(), 2u);
+  EXPECT_EQ(cq.coalesced_polls(), 2u);
+}
+
+TEST(CqModeration, PeriodTimerFlushesAPartialBatch) {
+  // Fewer completions than the batch count: the period timer must flush
+  // them, or the consumer would wait for completions that never come.
+  TwoNodes env;
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(4); });
+  CompletionQueue cq;
+  cq.bind_moderation(env.simu, /*count=*/8, sim::usec(16));
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  bool woke = false;
+  env.a.spawn("reaper", [&](SimThread& self) -> Program {
+    co_await os::WaitOn{&cq.wait_queue()};
+    woke = true;
+  });
+  for (int i = 0; i < 3; ++i) qp.post_read(key, 64, cq.alloc_wr_id());
+  env.simu.run_for(msec(10));
+  EXPECT_TRUE(woke);
+  EXPECT_EQ(cq.size(), 3u);
+  EXPECT_EQ(cq.notifies(), 1u);
+}
+
+TEST(VerbsTuning, ContextPoolSizeAndPolicyFollowTuning) {
+  TwoNodes env;
+  VerbsTuning t;
+  EXPECT_TRUE(make_context_pool(env.fabric.nic(0), t).empty());
+  t.shared_contexts = 3;
+  t.signal_every = 4;
+  t.send_depth = 8;
+  const auto pool = make_context_pool(env.fabric.nic(0), t);
+  ASSERT_EQ(pool.size(), 3u);
+  for (const auto& c : pool) {
+    EXPECT_EQ(c->signal_every(), 4);
+    EXPECT_EQ(c->send_depth(), 8u);
+  }
+  EXPECT_NE(pool[0]->ctx_id(), pool[1]->ctx_id());
+  EXPECT_NE(pool[1]->ctx_id(), pool[2]->ctx_id());
+}
+
+// --- bounded NIC context cache ------------------------------------------------
+
+TEST(NicCtxCache, UnboundedByDefaultCountsNothing) {
+  TwoNodes env;  // FabricConfig default: nic_ctx_cache_entries = 0
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(1); });
+  CompletionQueue cq;
+  QueuePair qp(env.fabric.nic(0), 1, cq);
+  for (int i = 0; i < 4; ++i) qp.post_read(key, 64, cq.alloc_wr_id());
+  env.simu.run_for(msec(10));
+  for (const int n : {0, 1}) {
+    EXPECT_EQ(env.fabric.nic(n).qpc_hits(), 0u);
+    EXPECT_EQ(env.fabric.nic(n).qpc_misses(), 0u);
+    EXPECT_EQ(env.fabric.nic(n).qpc_evictions(), 0u);
+  }
+}
+
+TEST(NicCtxCache, AlternatingDedicatedContextsThrashABoundedCache) {
+  // Two dedicated contexts ping-pong over a 1-entry cache: every post
+  // misses and evicts the other. The target side holds one MR entry that
+  // misses once and then hits.
+  FabricConfig fc;
+  fc.nic_ctx_cache_entries = 1;
+  TwoNodes env({}, fc);
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(1); });
+  CompletionQueue cq;
+  QueuePair qp1(env.fabric.nic(0), 1, cq);
+  QueuePair qp2(env.fabric.nic(0), 1, cq);
+  for (int i = 0; i < 4; ++i) {
+    qp1.post_read(key, 64, cq.alloc_wr_id());
+    qp2.post_read(key, 64, cq.alloc_wr_id());
+  }
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(env.fabric.nic(0).qpc_misses(), 8u);
+  EXPECT_EQ(env.fabric.nic(0).qpc_hits(), 0u);
+  EXPECT_EQ(env.fabric.nic(0).qpc_evictions(), 7u);
+  EXPECT_EQ(env.fabric.nic(1).qpc_misses(), 1u);
+  EXPECT_EQ(env.fabric.nic(1).qpc_hits(), 7u);
+  EXPECT_EQ(env.fabric.nic(1).qpc_evictions(), 0u);
+}
+
+TEST(NicCtxCache, SharedContextTurnsThrashIntoHits) {
+  // Same cache, same posting pattern — but both QPs multiplex one
+  // context, so the single entry stays resident.
+  FabricConfig fc;
+  fc.nic_ctx_cache_entries = 1;
+  TwoNodes env({}, fc);
+  MrKey key = env.fabric.nic(1).register_mr(64, [] { return std::any(1); });
+  CompletionQueue cq;
+  auto ctx = std::make_shared<QpContext>(env.fabric.nic(0));
+  QueuePair qp1(env.fabric.nic(0), 1, cq, ctx);
+  QueuePair qp2(env.fabric.nic(0), 1, cq, ctx);
+  for (int i = 0; i < 4; ++i) {
+    qp1.post_read(key, 64, cq.alloc_wr_id());
+    qp2.post_read(key, 64, cq.alloc_wr_id());
+  }
+  env.simu.run_for(msec(10));
+  EXPECT_EQ(env.fabric.nic(0).qpc_misses(), 1u);
+  EXPECT_EQ(env.fabric.nic(0).qpc_hits(), 7u);
+  EXPECT_EQ(env.fabric.nic(0).qpc_evictions(), 0u);
+}
+
+TEST(NicCtxCache, MissPenaltyDelaysTheRead) {
+  // Cold bounded cache: the first READ pays one QPC fetch at the
+  // initiator plus one MR fetch at the target.
+  auto measure = [](int cache_entries) {
+    FabricConfig fc;
+    fc.nic_ctx_cache_entries = cache_entries;
+    TwoNodes env({}, fc);
+    MrKey key =
+        env.fabric.nic(1).register_mr(64, [] { return std::any(1); });
+    CompletionQueue cq;
+    QueuePair qp(env.fabric.nic(0), 1, cq);
+    std::int64_t latency = -1;
+    env.a.spawn("reader", [&](SimThread& self) -> Program {
+      Completion out;
+      const sim::TimePoint t0 = env.simu.now();
+      co_await rdma_read_sync(self, qp, key, 64, out);
+      latency = (env.simu.now() - t0).ns;
+    });
+    env.simu.run_for(msec(10));
+    return latency;
+  };
+  const std::int64_t unbounded = measure(0);
+  const std::int64_t bounded = measure(64);
+  ASSERT_GT(unbounded, 0);
+  EXPECT_EQ(bounded - unbounded, 2 * FabricConfig{}.nic_ctx_miss_penalty.ns);
 }
 
 TEST(Nic, TxSerializesAtLinkBandwidth) {

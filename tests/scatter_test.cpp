@@ -293,6 +293,62 @@ TEST(ScatterRound, MixedOutcomesMatchSequentialVerdictsExactly) {
   }
 }
 
+TEST(ScatterRound, FastPathVerdictsMatchDedicatedUnderCrash) {
+  // The verbs fast path (shared contexts + signal-every-k + CQ
+  // moderation) may only change what a round COSTS, never what it
+  // REPORTS: crash two of six targets and require per-backend verdicts
+  // identical to the dedicated-context engine, and the fast path
+  // deterministic against itself.
+  auto run = [](bool fast) {
+    sim::Simulation simu;
+    net::Fabric fabric(simu, {});
+    os::Node frontend(simu, {.name = "frontend"});
+    fabric.attach(frontend);
+    net::VerbsTuning vt;
+    if (fast) {
+      vt.signal_every = 4;
+      vt.shared_contexts = 2;
+      vt.cq_mod_count = 4;
+    }
+    const auto pool = net::make_context_pool(fabric.nic(frontend.id), vt);
+    std::vector<std::unique_ptr<os::Node>> backends;
+    std::vector<std::unique_ptr<monitor::MonitorChannel>> channels;
+    for (int i = 0; i < 6; ++i) {
+      os::NodeConfig cfg;
+      cfg.name = "backend" + std::to_string(i);
+      backends.push_back(std::make_unique<os::Node>(simu, cfg));
+      fabric.attach(*backends.back());
+      channels.push_back(std::make_unique<monitor::MonitorChannel>(
+          fabric, frontend, *backends.back(), fast_cfg(Scheme::RdmaSync),
+          pool.empty() ? nullptr
+                       : pool[static_cast<std::size_t>(i) % pool.size()]));
+    }
+    monitor::ScatterFetcher scatter;
+    for (auto& ch : channels) scatter.add(ch->frontend());
+    if (fast) {
+      scatter.cq().bind_moderation(simu, vt.cq_mod_count, vt.cq_mod_period);
+    }
+    fabric.inject_crash(backends[1]->id);
+    fabric.inject_crash(backends[4]->id);
+    std::vector<MonitorSample> samples;
+    frontend.spawn("poller", [&](SimThread& self) -> Program {
+      co_await scatter.round_all(self, samples);
+    });
+    simu.run_for(seconds(1));
+    std::string out;
+    for (const MonitorSample& s : samples) {
+      out += s.ok ? "ok:" : "fail:";
+      out += std::to_string(s.attempts);
+      out += ' ';
+    }
+    return out;
+  };
+  const std::string fast_verdicts = run(true);
+  EXPECT_EQ(fast_verdicts, run(true));   // deterministic replay
+  EXPECT_EQ(fast_verdicts, run(false));  // parity with the plain engine
+  EXPECT_NE(fast_verdicts.find("fail"), std::string::npos);
+}
+
 // --- LoadBalancer on the engine ----------------------------------------------
 
 struct LbEnv {
