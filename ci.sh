@@ -22,14 +22,18 @@ if [[ "${1:-}" == "sanitize" ]]; then
   # Cross-scheme conformance contract, named so a sanitizer hit in the
   # push/adaptive paths is attributed to the suite that guards them.
   ctest --test-dir build-asan -L conformance --output-on-failure -j "$jobs"
+  # Multi-tenant QoS surface (arbiter properties + TenantFault storms),
+  # named for the same reason.
+  ctest --test-dir build-asan -L qos --output-on-failure -j "$jobs"
 elif [[ "${1:-}" == "bench" ]]; then
   cmake -B build -S .
   cmake --build build -j "$jobs" --target \
     bench_fig3_latency bench_fig5_accuracy bench_scale_poll \
-    bench_fault_resilience bench_scale_frontends bench_engine bench_verbs
+    bench_fault_resilience bench_scale_frontends bench_engine bench_verbs \
+    bench_qos
   mkdir -p bench-results
   for b in fig3_latency scale_poll fault_resilience scale_frontends engine \
-           verbs; do
+           verbs qos; do
     RDMAMON_BENCH_DIR=bench-results ./build/bench/bench_$b --quick
     python3 -m json.tool "bench-results/BENCH_$b.json" > /dev/null
     echo "BENCH_$b.json: valid"
@@ -96,8 +100,33 @@ print(f"verbs fast path at N={b['n']}: polls/backend/s M=1 "
 assert 0.85 <= b["flatness_ratio"] <= 1.15, \
     "per-backend probe load not flat at N=2048 on the fast path"
 EOF
+  # Multi-tenant acceptance, BOTH directions: the unthrottled hog must
+  # breach the view-age SLO (proving the storm bites), and with QoS on
+  # the victim must meet it while the hog is pinned to its rate cap.
+  python3 - <<'EOF'
+import json
+doc = json.load(open("bench-results/BENCH_qos.json"))
+rows = {r["arm"]: r for r in doc["results"]}
+off, on = rows["qos-off"], rows["qos-on"]
+slo = doc["slo_target_ms"]
+cap = doc["hog_rate_cap_mbps"]
+print(f"view-age p99: qos-off {off['view_age_p99_ms']:.1f}ms "
+      f"(SLO {slo:.0f}ms, breaches {off['breach_edges']}) -> "
+      f"qos-on {on['view_age_p99_ms']:.1f}ms")
+assert off["view_age_p99_ms"] > slo, "unthrottled storm did not breach SLO"
+assert off["breach_edges"] >= 1, "SLO engine never alarmed under the storm"
+assert on["view_age_p99_ms"] <= slo, "QoS failed to protect the view age"
+assert on["breach_edges"] == 0, "QoS arm still alarmed"
+print(f"hog goodput: {off['hog_goodput_mbps']:.0f} -> "
+      f"{on['hog_goodput_mbps']:.0f} MB/s (cap {cap:.0f}, "
+      f"throttle {doc['hog_throttle_ratio']:.1f}x)")
+assert on["hog_goodput_mbps"] <= cap * 1.2, "hog exceeded its rate cap"
+assert doc["hog_throttle_ratio"] >= 5.0, "hog barely throttled"
+dropped = sum(t["dropped"] for t in on["tenants"] if t["tenant"] == 9)
+assert dropped > 0, "queue cap never dropped the flood"
+EOF
   # Golden-trace replays (ctest LABELS slow): quick fig3/fig5/scale_poll/
-  # verbs pinned against tests/golden/*.json.
+  # verbs/qos pinned against tests/golden/*.json.
   ctest --test-dir build -L slow --output-on-failure -j "$jobs"
 elif [[ "${1:-}" == "slo" ]]; then
   # Freshness-plane smoke: the staleness SLO / flight recorder / alarm-MR

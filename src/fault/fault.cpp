@@ -15,6 +15,8 @@ const char* to_string(FaultKind k) {
     case FaultKind::NodeUnfreeze: return "unfreeze";
     case FaultKind::LinkDegrade: return "link-degrade";
     case FaultKind::LinkRestore: return "link-restore";
+    case FaultKind::StormStart: return "storm-start";
+    case FaultKind::StormStop: return "storm-stop";
   }
   return "?";
 }
@@ -67,12 +69,34 @@ FaultPlan& FaultPlan::degrade_link_for(int node, sim::TimePoint at,
       .restore_link(node, at + window);
 }
 
+FaultPlan& FaultPlan::storm_start(int storm, sim::TimePoint at) {
+  FaultEvent e{at, FaultKind::StormStart, -1, {}, 0.0};
+  e.storm = storm;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::storm_stop(int storm, sim::TimePoint at) {
+  FaultEvent e{at, FaultKind::StormStop, -1, {}, 0.0};
+  e.storm = storm;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::storm_for(int storm, sim::TimePoint at,
+                                sim::Duration window) {
+  return storm_start(storm, at).storm_stop(storm, at + window);
+}
+
 std::string FaultPlan::describe() const {
   std::string out;
   for (const FaultEvent& e : events_) {
     out += sim::to_string(e.at);
-    out += " node";
-    out += std::to_string(e.node);
+    if (e.kind == FaultKind::StormStart || e.kind == FaultKind::StormStop) {
+      out += " storm";
+      out += std::to_string(e.storm);
+    } else {
+      out += " node";
+      out += std::to_string(e.node);
+    }
     out += ' ';
     out += to_string(e.kind);
     if (e.kind == FaultKind::LinkDegrade) {
@@ -138,23 +162,32 @@ void FaultInjector::apply(const FaultEvent& e) {
     case FaultKind::LinkRestore:
       fabric_->clear_link_fault(e.node);
       break;
+    case FaultKind::StormStart:
+    case FaultKind::StormStop:
+      // The fabric is untouched: the damage is real tenant traffic,
+      // generated by whatever the storm hook starts/stops.
+      if (storm_hook_) storm_hook_(e);
+      break;
   }
   ++injected_;
   log_.push_back(e);
+  const bool is_storm =
+      e.kind == FaultKind::StormStart || e.kind == FaultKind::StormStop;
+  const std::string subject = is_storm ? "storm" + std::to_string(e.storm)
+                                       : "node" + std::to_string(e.node);
   telemetry::Registry* reg = telemetry::Registry::of(fabric_->simu());
   if (reg != nullptr) {
     reg->counter("fault.injected", telemetry::Labels{{"kind", to_string(e.kind)}})
         .inc();
     // Annotated, timestamped record in the span stream so fault windows
     // can be correlated with fetch/dispatch behaviour.
-    telemetry::span_event(reg, "fault", to_string(e.kind),
-                          "node" + std::to_string(e.node));
+    telemetry::span_event(reg, "fault", to_string(e.kind), subject);
     // Flight-record the fault, and on a crash dump a post-mortem: the
     // merged rings show exactly what the monitoring plane was doing in
     // the lead-up to the kill.
     reg->recorder()
         .ring("fault", 128)
-        ->record(to_string(e.kind), e.node,
+        ->record(to_string(e.kind), is_storm ? e.storm : e.node,
                  static_cast<std::int64_t>(e.kind));
     if (e.kind == FaultKind::NodeCrash) {
       reg->recorder().postmortem("crash_node" + std::to_string(e.node));

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,18 +28,22 @@ enum class FaultKind {
   NodeUnfreeze, ///< hung kernel resumes (queued packets burst in)
   LinkDegrade,  ///< access link gains latency and a loss probability
   LinkRestore,  ///< access link back to nominal
+  StormStart,   ///< tenant traffic storm begins (see workload::TenantStorm)
+  StormStop,    ///< tenant traffic storm ends
 };
 
 const char* to_string(FaultKind k);
 
 /// One scheduled fault. `extra_latency`/`loss` are meaningful only for
-/// LinkDegrade.
+/// LinkDegrade; `storm` only for StormStart/StormStop (the id the
+/// injector's storm hook dispatches on — see set_storm_hook).
 struct FaultEvent {
   sim::TimePoint at{};
   FaultKind kind = FaultKind::NodeCrash;
   int node = -1;
   sim::Duration extra_latency{};
   double loss = 0.0;
+  int storm = -1;
 };
 
 /// Builder for a schedule of fault events. Order of insertion breaks
@@ -60,6 +65,14 @@ class FaultPlan {
   FaultPlan& degrade_link_for(int node, sim::TimePoint at,
                               sim::Duration window,
                               sim::Duration extra_latency, double loss);
+
+  /// Tenant traffic storms ride the same schedule, so noisy-neighbor
+  /// pressure composes with crashes and lossy links in one plan. The
+  /// `storm` id names a generator registered with the injector's storm
+  /// hook (workload::drive_storms).
+  FaultPlan& storm_start(int storm, sim::TimePoint at);
+  FaultPlan& storm_stop(int storm, sim::TimePoint at);
+  FaultPlan& storm_for(int storm, sim::TimePoint at, sim::Duration window);
 
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
@@ -93,6 +106,14 @@ class FaultInjector {
   /// Applies one event immediately (test convenience).
   void apply(const FaultEvent& e);
 
+  /// Installs the dispatcher for StormStart/StormStop events (the fault
+  /// plane knows nothing of workload generators; workload::drive_storms
+  /// installs a hook that routes by FaultEvent::storm). Storm events
+  /// applied with no hook installed are logged but otherwise inert.
+  void set_storm_hook(std::function<void(const FaultEvent&)> hook) {
+    storm_hook_ = std::move(hook);
+  }
+
   /// Events applied so far.
   std::uint64_t injected() const { return injected_; }
   /// Applied events in application order (the run's fault trace).
@@ -102,6 +123,7 @@ class FaultInjector {
   net::Fabric* fabric_;
   std::uint64_t injected_ = 0;
   std::vector<FaultEvent> log_;
+  std::function<void(const FaultEvent&)> storm_hook_;
 };
 
 }  // namespace rdmamon::fault

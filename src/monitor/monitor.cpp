@@ -65,14 +65,16 @@ BackendMonitor::BackendMonitor(net::Fabric& fabric, os::Node& backend,
       // CPU involvement — including the transient irq_stat state that a
       // synchronized /proc read can never observe. Read-only, per the
       // paper's security argument.
-      mr_key_ = nic.register_mr(cfg_.reply_bytes, [node = &backend_] {
-        return std::any(node->procfs().snapshot_dma());
-      });
+      mr_key_ = nic.register_mr(cfg_.reply_bytes,
+                                [node = &backend_] {
+                                  return std::any(node->procfs().snapshot_dma());
+                                },
+                                false, nullptr, cfg_.tenant);
     } else {
       // RDMA-Async: register the user-space slot the calc thread updates.
-      mr_key_ = nic.register_mr(cfg_.reply_bytes, [slot = &slot_] {
-        return std::any(*slot);
-      });
+      mr_key_ = nic.register_mr(cfg_.reply_bytes,
+                                [slot = &slot_] { return std::any(*slot); },
+                                false, nullptr, cfg_.tenant);
     }
   }
 }
@@ -109,6 +111,9 @@ FrontendMonitor::FrontendMonitor(net::Fabric& fabric, os::Node& frontend,
   if (is_rdma(backend.config().scheme)) {
     qp_.emplace(fabric.nic(frontend.id), backend.node().id, *cq_,
                 std::move(ctx));
+    // Monitoring READs carry the plane's tenant tag so fabric QoS can
+    // weight them against noisy neighbors (0 = untagged system plane).
+    if (backend.config().tenant != 0) qp_->set_tenant(backend.config().tenant);
   } else {
     assert(client_end != nullptr &&
            "socket schemes need the monitoring connection's client end");

@@ -38,6 +38,12 @@ struct MonitorConfig {
   /// Backoff before retry k (1-based) is retry_backoff * 2^(k-1) —
   /// deterministic exponential backoff, no jitter, so runs replay.
   sim::Duration retry_backoff = sim::msec(2);
+
+  /// Tenant identity of the monitoring plane itself: stamped on the
+  /// channel's QP contexts and registered regions so fabric QoS can
+  /// protect (or account) monitoring traffic like any other tenant's.
+  /// Default 0: the system plane, exempt from per-tenant specs.
+  net::TenantId tenant = 0;
 };
 
 /// Why a fetch came back without data.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "net/qos.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
@@ -65,6 +66,12 @@ struct FabricConfig {
   /// thrash is a queueing collapse, not just an additive tax); MR fetches
   /// stall the already-serialised DMA engine.
   sim::Duration nic_ctx_miss_penalty = sim::nsec(450);
+
+  /// Per-tenant fabric QoS (token-bucket rate caps + weighted fair
+  /// queueing at every NIC's one-sided tx path; see net/qos.hpp).
+  /// Disabled by default: no arbiter is built and all one-sided posts
+  /// take the historical path byte-identically.
+  QosConfig qos;
 
   /// Seed of the link-loss sampling stream (runs replay bit-for-bit).
   std::uint64_t fault_seed = 0x8d0fb18a12c5e3a7ull;

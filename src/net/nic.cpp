@@ -9,6 +9,10 @@ Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {
     ctx_cache_ =
         std::make_unique<NicCtxCache>(fabric.config().nic_ctx_cache_entries);
   }
+  if (fabric.config().qos.enabled) {
+    arbiter_ = std::make_unique<TenantArbiter>(
+        fabric.simu(), fabric.config().qos, fabric.config().bandwidth_bps);
+  }
   // Snapshot-time export of the NIC's always-on introspection counters;
   // a no-op bind when no registry is installed.
   collector_.bind(fabric.simu(), [this](telemetry::Registry& reg) {
@@ -33,6 +37,22 @@ Nic::Nic(Fabric& fabric, os::Node& node) : fabric_(fabric), node_(node) {
         .set(static_cast<double>(qpc_evictions()));
     reg.gauge("net.verbs.unsignaled_posted", by_node)
         .set(static_cast<double>(unsignaled_posted_));
+    if (arbiter_ != nullptr) {
+      // Per-tenant QoS counters, iterated in ascending tenant order so
+      // snapshots are deterministic.
+      for (const TenantId t : arbiter_->tenants()) {
+        const TenantArbiter::Stats s = arbiter_->stats(t);
+        telemetry::Labels l = by_node;
+        l.add("tenant", std::to_string(t));
+        reg.gauge("net.qos.admitted", l).set(static_cast<double>(s.admitted));
+        reg.gauge("net.qos.deferred", l).set(static_cast<double>(s.deferred));
+        reg.gauge("net.qos.dropped", l).set(static_cast<double>(s.dropped));
+        reg.gauge("net.qos.admitted_bytes", l)
+            .set(static_cast<double>(s.admitted_bytes));
+        reg.gauge("net.qos.queue_depth", l)
+            .set(static_cast<double>(s.queue_depth));
+      }
+    }
   });
   if (telemetry::Registry* reg = telemetry::Registry::of(fabric.simu())) {
     fr_ = reg->recorder().ring("net." + node.name());
@@ -114,11 +134,13 @@ void fail_after_retries(Fabric& fabric, Completion c,
 
 MrKey Nic::register_mr(std::size_t bytes, std::function<std::any()> reader,
                        bool remote_writable,
-                       std::function<void(const std::any&)> writer) {
+                       std::function<void(const std::any&)> writer,
+                       TenantId tenant) {
   MemoryRegion mr;
   mr.rkey = next_rkey_++;
   mr.bytes = bytes;
   mr.remote_writable = remote_writable;
+  mr.tenant = tenant;
   mr.reader = std::move(reader);
   mr.writer = std::move(writer);
   const MrKey key{mr.rkey};
@@ -131,9 +153,9 @@ bool Nic::deregister_mr(MrKey key) {
   return regions_.erase(key.key) > 0;
 }
 
-sim::Duration Nic::charge_qpc(std::uint64_t ctx_id) {
+sim::Duration Nic::charge_qpc(std::uint64_t ctx_id, TenantId tenant) {
   if (ctx_cache_ == nullptr || ctx_id == 0) return sim::Duration{};
-  if (ctx_cache_->access(kQpcKey | ctx_id)) return sim::Duration{};
+  if (ctx_cache_->access(kQpcKey | ctx_id, tenant)) return sim::Duration{};
   // Miss: the context is fetched from host memory through the NIC's one
   // fetch engine — concurrent misses queue behind each other, so a post
   // burst over more contexts than the cache holds collapses into a
@@ -147,7 +169,12 @@ sim::Duration Nic::charge_qpc(std::uint64_t ctx_id) {
 
 sim::Duration Nic::charge_mr(std::uint32_t rkey) {
   if (ctx_cache_ == nullptr) return sim::Duration{};
-  if (ctx_cache_->access(kMrKeyBit | rkey)) return sim::Duration{};
+  // The MR entry is owned by the region's registering tenant (the region
+  // may already be gone — the rkey resolves later — in which case the
+  // entry is charged to the system plane).
+  auto it = regions_.find(rkey);
+  const TenantId owner = it != regions_.end() ? it->second.tenant : 0;
+  if (ctx_cache_->access(kMrKeyBit | rkey, owner)) return sim::Duration{};
   // MR entry miss stalls the (already serialised) DMA engine while the
   // entry is fetched; the caller adds this to the service time.
   return fabric_.config().nic_ctx_miss_penalty;
@@ -156,7 +183,7 @@ sim::Duration Nic::charge_mr(std::uint32_t rkey) {
 void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
                     std::uint64_t wr_id,
                     std::function<void(Completion)> done,
-                    std::uint64_t ctx_id) {
+                    std::uint64_t ctx_id, TenantId tenant) {
   ++rdma_posted_;
   if (fr_ != nullptr) {
     // Flight-record the post and wrap `done` so every completion path
@@ -177,6 +204,32 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();
+  if (arbiter_ != nullptr) {
+    // Fabric QoS: the op's full wire footprint passes the per-tenant
+    // token bucket + WFQ arbiter before the wire logic runs. A queue-cap
+    // refusal drops the WR; the RC layer error-completes it exactly like
+    // a retry-budget exhaustion.
+    const std::size_t footprint = cfg.rdma_request_bytes + len;
+    Completion drop = c;
+    if (!arbiter_->submit(
+            tenant, footprint,
+            [this, target_node, rkey, len, c, done, ctx_id, tenant]() mutable {
+              start_read(target_node, rkey, len, std::move(c), std::move(done),
+                         ctx_id, tenant);
+            })) {
+      fail_after_retries(fabric_, std::move(drop), std::move(done));
+    }
+    return;
+  }
+  start_read(target_node, rkey, len, std::move(c), std::move(done), ctx_id,
+             tenant);
+}
+
+void Nic::start_read(int target_node, MrKey rkey, std::size_t len,
+                     Completion c, std::function<void(Completion)> done,
+                     std::uint64_t ctx_id, TenantId tenant) {
+  sim::Simulation& simu = fabric_.simu();
+  const FabricConfig& cfg = fabric_.config();
   // Dead host at EITHER end or lost request packet: the op can never
   // succeed. The initiator-side check mirrors the socket path (a crashed
   // node's packets vanish both ways) — without it a crashed front end
@@ -190,7 +243,7 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
   // QP-context cache touch at the initiator: an evicted context delays
   // the request by the (serialised) fetch penalty before it reaches the
   // wire. Zero with the default unbounded cache.
-  const sim::Duration qpc_delay = charge_qpc(ctx_id);
+  const sim::Duration qpc_delay = charge_qpc(ctx_id, tenant);
   // Request packet to the target NIC.
   const sim::Duration req = qpc_delay +
                             cfg.wire_delay(cfg.rdma_request_bytes) +
@@ -252,7 +305,7 @@ void Nic::rdma_read(int target_node, MrKey rkey, std::size_t len,
 void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
                      std::size_t len, std::uint64_t wr_id,
                      std::function<void(Completion)> done,
-                     std::uint64_t ctx_id) {
+                     std::uint64_t ctx_id, TenantId tenant) {
   ++rdma_posted_;
   if (fr_ != nullptr) {
     fr_->record("write.post", target_node, static_cast<std::int64_t>(wr_id),
@@ -271,6 +324,30 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
   Completion c;
   c.wr_id = wr_id;
   c.posted = simu.now();
+  if (arbiter_ != nullptr) {
+    const std::size_t footprint = 2 * cfg.rdma_request_bytes + len;
+    Completion drop = c;
+    if (!arbiter_->submit(
+            tenant, footprint,
+            [this, target_node, rkey, value, len, c, done, ctx_id,
+             tenant]() mutable {
+              start_write(target_node, rkey, std::move(value), len,
+                          std::move(c), std::move(done), ctx_id, tenant);
+            })) {
+      fail_after_retries(fabric_, std::move(drop), std::move(done));
+    }
+    return;
+  }
+  start_write(target_node, rkey, std::move(value), len, std::move(c),
+              std::move(done), ctx_id, tenant);
+}
+
+void Nic::start_write(int target_node, MrKey rkey, std::any value,
+                      std::size_t len, Completion c,
+                      std::function<void(Completion)> done,
+                      std::uint64_t ctx_id, TenantId tenant) {
+  sim::Simulation& simu = fabric_.simu();
+  const FabricConfig& cfg = fabric_.config();
   if (fabric_.fault_state(node_id()).crashed ||
       fabric_.fault_state(target_node).crashed ||
       fabric_.sample_link_drop(node_id(), target_node)) {
@@ -278,7 +355,7 @@ void Nic::rdma_write(int target_node, MrKey rkey, std::any value,
     return;
   }
   // Write carries the payload with the request.
-  const sim::Duration req = charge_qpc(ctx_id) +
+  const sim::Duration req = charge_qpc(ctx_id, tenant) +
                             cfg.wire_delay(cfg.rdma_request_bytes + len) +
                             fabric_.link_extra(node_id(), target_node);
   Nic& target = fabric_.nic(target_node);

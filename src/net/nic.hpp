@@ -45,10 +45,12 @@ class Nic {
 
   // --- one-sided -----------------------------------------------------------
   /// Registers a memory region; `reader` is sampled at DMA time.
-  /// Read-only unless `remote_writable`.
+  /// Read-only unless `remote_writable`. `tenant` is the owner a cached
+  /// MR entry's eviction is attributed to (0 = system plane).
   MrKey register_mr(std::size_t bytes, std::function<std::any()> reader,
                     bool remote_writable = false,
-                    std::function<void(const std::any&)> writer = nullptr);
+                    std::function<void(const std::any&)> writer = nullptr,
+                    TenantId tenant = 0);
 
   /// Invalidates an rkey. In-flight ops that reach the DMA engine after the
   /// deregistration complete with InvalidKey — the rkey is resolved at the
@@ -63,16 +65,22 @@ class Nic {
   /// bounded cache configured, a QP-context miss delays the request by the
   /// fetch penalty, serialised on the NIC's single fetch engine, and an MR
   /// miss at the target stalls its DMA engine by the same penalty.
+  ///
+  /// `tenant` tags the WR for fabric QoS: with FabricConfig::qos enabled
+  /// the op passes this NIC's per-tenant token-bucket + WFQ arbiter
+  /// before reaching the wire (and may be DROPPED at the tenant's queue
+  /// cap, error-completing with RetryExceeded). With QoS disabled the
+  /// tag is inert and the path is byte-identical to history.
   void rdma_read(int target_node, MrKey rkey, std::size_t len,
                  std::uint64_t wr_id, std::function<void(Completion)> done,
-                 std::uint64_t ctx_id = 0);
+                 std::uint64_t ctx_id = 0, TenantId tenant = 0);
 
   /// Initiator-side one-sided WRITE. Rejected with ProtectionError when the
   /// target region is not remote_writable.
   void rdma_write(int target_node, MrKey rkey, std::any value,
                   std::size_t len, std::uint64_t wr_id,
                   std::function<void(Completion)> done,
-                  std::uint64_t ctx_id = 0);
+                  std::uint64_t ctx_id = 0, TenantId tenant = 0);
 
   /// Allocates a NIC-unique QpContext identity (context-cache key space).
   std::uint64_t alloc_ctx_id() { return next_ctx_id_++; }
@@ -103,6 +111,15 @@ class Nic {
   std::uint64_t qpc_evictions() const {
     return ctx_cache_ ? ctx_cache_->evictions() : 0;
   }
+  /// Context-cache evictions whose displaced entry belonged to `tenant`
+  /// (the noisy-neighbor attribution the MR-thrash tests assert on).
+  std::uint64_t qpc_evictions_for(TenantId tenant) const {
+    return ctx_cache_ ? ctx_cache_->evictions_for(tenant) : 0;
+  }
+
+  /// The per-tenant QoS arbiter on this NIC's one-sided tx path; null
+  /// unless FabricConfig::qos.enabled.
+  const TenantArbiter* arbiter() const { return arbiter_.get(); }
 
  private:
   friend class Fabric;
@@ -115,10 +132,21 @@ class Nic {
   /// Touches the initiator-side QP context `ctx_id`; on a miss returns
   /// the delay until the single context-fetch engine has brought it in
   /// (serialised across concurrent misses — the thrash regime).
-  sim::Duration charge_qpc(std::uint64_t ctx_id);
+  sim::Duration charge_qpc(std::uint64_t ctx_id, TenantId tenant);
   /// Touches the target-side MR entry; on a miss returns the penalty to
   /// add to the DMA service time (the DMA engine already serialises).
   sim::Duration charge_mr(std::uint32_t rkey);
+
+  /// The wire half of rdma_read/rdma_write, entered directly (QoS off)
+  /// or as the arbiter's grant continuation (QoS on): fault checks,
+  /// context-cache charge, request leg, target DMA, response leg.
+  void start_read(int target_node, MrKey rkey, std::size_t len, Completion c,
+                  std::function<void(Completion)> done, std::uint64_t ctx_id,
+                  TenantId tenant);
+  void start_write(int target_node, MrKey rkey, std::any value,
+                   std::size_t len, Completion c,
+                   std::function<void(Completion)> done, std::uint64_t ctx_id,
+                   TenantId tenant);
 
   /// CPU chosen for the next NetRx interrupt (config fixed or round-robin).
   int pick_rx_cpu();
@@ -133,6 +161,8 @@ class Nic {
   sim::TimePoint ctx_fetch_busy_{};
   /// Bounded connection-context cache; null when unbounded (default).
   std::unique_ptr<NicCtxCache> ctx_cache_;
+  /// Per-tenant QoS arbiter; null when FabricConfig::qos is disabled.
+  std::unique_ptr<TenantArbiter> arbiter_;
   int rr_cpu_ = 0;
   std::uint64_t tx_packets_ = 0;
   std::uint64_t rx_packets_ = 0;

@@ -2,7 +2,7 @@
 
 namespace rdmamon::net {
 
-bool NicCtxCache::access(std::uint64_t key) {
+bool NicCtxCache::access(std::uint64_t key, TenantId owner) {
   auto it = pos_.find(key);
   if (it != pos_.end()) {
     ++hits_;
@@ -12,10 +12,11 @@ bool NicCtxCache::access(std::uint64_t key) {
   ++misses_;
   if (cap_ > 0 && pos_.size() >= cap_) {
     ++evictions_;
-    pos_.erase(lru_.back());
+    ++evictions_by_[lru_.back().owner];
+    pos_.erase(lru_.back().key);
     lru_.pop_back();
   }
-  lru_.push_front(key);
+  lru_.push_front(Entry{key, owner});
   pos_.emplace(key, lru_.begin());
   return false;
 }
@@ -26,6 +27,11 @@ bool NicCtxCache::erase(std::uint64_t key) {
   lru_.erase(it->second);
   pos_.erase(it);
   return true;
+}
+
+std::uint64_t NicCtxCache::evictions_for(TenantId owner) const {
+  auto it = evictions_by_.find(owner);
+  return it == evictions_by_.end() ? 0 : it->second;
 }
 
 }  // namespace rdmamon::net

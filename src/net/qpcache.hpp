@@ -6,13 +6,21 @@
 // observation of why one dedicated RC QP per peer collapses at datacenter
 // scale, and why DCT-style shared contexts restore flat cost.
 //
+// Entries carry the owning tenant so evictions can be attributed: an
+// MR-thrash storm that churns the cache shows up as evictions charged to
+// the VICTIM tenants whose entries it displaced — the noisy-neighbor
+// fingerprint the multi-tenant tests assert on.
+//
 // This class is only the replacement policy + accounting; the miss
 // penalty and its serialisation are charged by net::Nic.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <unordered_map>
+
+#include "net/qos.hpp"
 
 namespace rdmamon::net {
 
@@ -24,8 +32,9 @@ class NicCtxCache {
   explicit NicCtxCache(std::size_t capacity) : cap_(capacity) {}
 
   /// Touches `key`: true on hit (entry moved to MRU), false on miss (the
-  /// entry is brought in, evicting the LRU entry when full).
-  bool access(std::uint64_t key);
+  /// entry is brought in owned by `owner`, evicting the LRU entry when
+  /// full — the eviction is charged to the DISPLACED entry's owner).
+  bool access(std::uint64_t key, TenantId owner = 0);
 
   /// Drops `key` (context destroyed, e.g. an MR deregistration). Not an
   /// eviction — the entry is invalid, not displaced. False if absent.
@@ -36,14 +45,22 @@ class NicCtxCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Evictions whose displaced entry belonged to `owner`.
+  std::uint64_t evictions_for(TenantId owner) const;
 
  private:
+  struct Entry {
+    std::uint64_t key = 0;
+    TenantId owner = 0;
+  };
+
   std::size_t cap_;
-  std::list<std::uint64_t> lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> pos_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> pos_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::map<TenantId, std::uint64_t> evictions_by_;
 };
 
 }  // namespace rdmamon::net

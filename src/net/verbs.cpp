@@ -249,10 +249,10 @@ void QpContext::launch(Pending p) {
   };
   if (p.is_write) {
     local_->rdma_write(p.target, p.rkey, std::move(p.value), p.len, p.wr_id,
-                       std::move(done), ctx_id_);
+                       std::move(done), ctx_id_, tenant_);
   } else {
     local_->rdma_read(p.target, p.rkey, p.len, p.wr_id, std::move(done),
-                      ctx_id_);
+                      ctx_id_, tenant_);
   }
 }
 

@@ -37,6 +37,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/qos.hpp"
 #include "os/program.hpp"
 #include "os/wait.hpp"
 #include "sim/simulation.hpp"
@@ -82,6 +83,9 @@ struct MemoryRegion {
   std::uint32_t rkey = 0;
   std::size_t bytes = 0;
   bool remote_writable = false;
+  /// Registering tenant: the owner a cached MR entry's eviction is
+  /// attributed to (0 = system plane).
+  TenantId tenant = 0;
   std::function<std::any()> reader;
   std::function<void(const std::any&)> writer;
 };
@@ -260,6 +264,12 @@ class QpContext : public std::enable_shared_from_this<QpContext> {
   int signal_every() const { return signal_every_; }
   std::size_t send_depth() const { return send_depth_; }
 
+  /// Tenant identity stamped on every WR this context posts (fabric QoS
+  /// arbitration + context-cache eviction attribution). Default 0: the
+  /// system plane.
+  void set_tenant(TenantId t) { tenant_ = t; }
+  TenantId tenant() const { return tenant_; }
+
   // --- introspection --------------------------------------------------------
   std::size_t inflight() const { return inflight_; }
   std::size_t deferred_pending() const { return deferred_.size(); }
@@ -286,6 +296,7 @@ class QpContext : public std::enable_shared_from_this<QpContext> {
   std::uint64_t ctx_id_;
   int signal_every_;
   std::size_t send_depth_;
+  TenantId tenant_ = 0;
   std::uint64_t seq_ = 0;      ///< per-context post sequence (launch order)
   std::size_t inflight_ = 0;
   std::deque<Pending> deferred_;
@@ -331,6 +342,11 @@ class QueuePair {
   /// Re-points this QP's completions at another CQ (e.g. an engine's
   /// shared CQ). Must not be called with WRs in flight.
   void bind_cq(CompletionQueue& cq) { cq_ = &cq; }
+
+  /// Convenience: stamps this QP's context with a tenant identity (a
+  /// shared context is stamped for all its QPs — they belong to one
+  /// tenant by construction in DCT-style wiring).
+  void set_tenant(TenantId t) { ctx_->set_tenant(t); }
 
   int remote_node() const { return remote_node_; }
   CompletionQueue& cq() { return *cq_; }

@@ -12,6 +12,7 @@ ClusterTestbed::ClusterTestbed(sim::Simulation& simu, ClusterConfig cfg)
   mcfg.fetch_timeout = cfg_.fetch_timeout;
   mcfg.fetch_retries = cfg_.fetch_retries;
   mcfg.retry_backoff = cfg_.retry_backoff;
+  mcfg.tenant = cfg_.monitor_tenant;
 
   if (cfg_.frontends <= 1) {
     // The paper's single-front-end testbed, wired exactly as before the

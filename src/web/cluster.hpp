@@ -60,6 +60,10 @@ struct ClusterConfig {
   /// single-front-end and scale-out mode; the defaults keep the
   /// historical behaviour byte-identical.
   net::VerbsTuning verbs;
+  /// Tenant identity of the monitoring plane (see MonitorConfig::tenant):
+  /// with fabric QoS enabled, give the plane a weighted spec under this
+  /// id so its READs are protected from noisy neighbors. 0 = untagged.
+  net::TenantId monitor_tenant = 0;
 
   ClusterConfig() {
     backend_node.name = "backend";

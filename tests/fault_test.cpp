@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <any>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +25,7 @@
 #include "sim/simulation.hpp"
 #include "sim/stats.hpp"
 #include "web/cluster.hpp"
+#include "workload/tenantstorm.hpp"
 
 namespace rdmamon {
 namespace {
@@ -651,6 +654,190 @@ TEST(ScaleOutFault, RandomFrontendCrashPlanKeepsEveryBackendMonitored) {
     EXPECT_EQ(plane.frontend(owner).balancer().health_of(b),
               lb::BackendHealth::Healthy);
   }
+}
+
+// --- tenant storms composed with faults --------------------------------------
+//
+// Noisy-neighbor pressure is a fault-plane citizen: storms schedule
+// through the same FaultPlan as crashes and lossy links, so these
+// scenarios check the COMPOSITIONS — an aggressor that dies mid-storm,
+// a link fault hiding inside congestion, and cache-thrash attribution.
+
+/// A small monitored cluster with a dedicated aggressor node storming
+/// the backends. Node ids: frontend 0, backends 1..kBackends, aggressor
+/// kBackends+1 — so fault plans can target backends and the aggressor
+/// independently.
+struct TenantLbEnv {
+  static constexpr int kBackends = 3;
+  static constexpr net::TenantId kMonTenant = 1;
+  static constexpr net::TenantId kHogTenant = 9;
+
+  sim::Simulation simu;
+  net::Fabric fabric;
+  os::Node frontend{simu, {.name = "frontend"}};
+  std::vector<std::unique_ptr<os::Node>> backends;
+  std::unique_ptr<os::Node> aggressor;
+  lb::LoadBalancer lb{lb::WeightConfig::for_scheme(Scheme::RdmaSync)};
+  std::unique_ptr<workload::TenantStorm> storm;
+  fault::FaultInjector injector;
+  /// Per-backend health-ladder log, by backend index.
+  std::vector<std::vector<std::string>> ladders;
+
+  TenantLbEnv(net::FabricConfig fcfg, workload::TenantStormConfig scfg)
+      : fabric(simu, fcfg), injector(fabric) {
+    fabric.attach(frontend);
+    ladders.resize(kBackends);
+    MonitorConfig mcfg = fast_cfg(Scheme::RdmaSync);
+    mcfg.tenant = kMonTenant;
+    std::vector<workload::StormTarget> targets;
+    for (int i = 0; i < kBackends; ++i) {
+      os::NodeConfig ncfg;
+      ncfg.name = "backend" + std::to_string(i);
+      backends.push_back(std::make_unique<os::Node>(simu, ncfg));
+      fabric.attach(*backends.back());
+      lb.add_backend(std::make_unique<monitor::MonitorChannel>(
+          fabric, frontend, *backends.back(), mcfg));
+      targets.push_back(
+          {backends.back()->id,
+           fabric.nic(backends.back()->id)
+               .register_mr(scfg.op_bytes, [] { return std::any{}; }, false,
+                            nullptr, kHogTenant)});
+    }
+    aggressor = std::make_unique<os::Node>(simu, os::NodeConfig{.name = "agg"});
+    fabric.attach(*aggressor);
+    storm = std::make_unique<workload::TenantStorm>(fabric, *aggressor,
+                                                    std::move(targets), scfg);
+    workload::drive_storms(injector, {storm.get()});
+    lb.on_health_change([this](int b, lb::BackendHealth h) {
+      ladders[static_cast<std::size_t>(b)].push_back(lb::to_string(h));
+    });
+    lb.start(frontend, msec(10));
+  }
+};
+
+TEST(TenantFault, AggressorCrashMidStormLetsVictimsRecover) {
+  // No QoS: the storm legitimately buries the backends (fetches fail,
+  // the detector demotes them) — then the AGGRESSOR crashes. Standing
+  // queues drain at the victims' service rate and every backend must
+  // climb back to Healthy; the dead aggressor's still-running posters
+  // error-complete against their own dead NIC.
+  workload::TenantStormConfig scfg =
+      workload::TenantStormConfig::bandwidth_hog();
+  scfg.tenant = TenantLbEnv::kHogTenant;
+  scfg.max_outstanding = 256;
+  scfg.post_period = usec(1);
+  TenantLbEnv env({}, scfg);
+  fault::FaultPlan plan;
+  plan.storm_for(0, sim::TimePoint{msec(100).ns}, seconds(5));
+  plan.crash_for(env.aggressor->id, sim::TimePoint{msec(500).ns}, seconds(5));
+  env.injector.arm(plan);
+  env.simu.run_for(seconds(2));
+
+  // The storm really hurt: fetch failures and demotions happened.
+  EXPECT_GT(env.lb.fetch_failures(), 0u);
+  std::size_t demotions = 0;
+  for (const auto& seq : env.ladders) demotions += seq.size();
+  EXPECT_GT(demotions, 0u) << "storm never demoted anyone";
+  // The crash really hit the aggressor: its posts error-complete.
+  EXPECT_GT(env.storm->failed(), 0u);
+  // And the victims recovered once the pressure source died.
+  EXPECT_EQ(env.lb.alive_backends(), TenantLbEnv::kBackends);
+  for (int i = 0; i < TenantLbEnv::kBackends; ++i) {
+    EXPECT_EQ(env.lb.health_of(i), lb::BackendHealth::Healthy)
+        << "backend " << i;
+    ASSERT_FALSE(env.ladders[static_cast<std::size_t>(i)].empty());
+    EXPECT_EQ(env.ladders[static_cast<std::size_t>(i)].back(), "healthy");
+  }
+}
+
+TEST(TenantFault, LossyLinkUnderThrottledStormIsolatesTheFaultyBackend) {
+  // QoS on: the rate-capped storm is background noise, and a total-loss
+  // window on ONE backend's link must demote exactly that backend —
+  // congestion may not smear the fault across its neighbours.
+  net::FabricConfig fcfg;
+  fcfg.qos.enabled = true;
+  net::TenantQosSpec mon;
+  mon.tenant = TenantLbEnv::kMonTenant;
+  mon.weight = 8.0;
+  fcfg.qos.tenants.push_back(mon);
+  net::TenantQosSpec hog;
+  hog.tenant = TenantLbEnv::kHogTenant;
+  hog.weight = 1.0;
+  hog.rate_bps = 50e6;
+  hog.burst_bytes = (1u << 20) + 64;
+  hog.queue_cap = 512;
+  fcfg.qos.tenants.push_back(hog);
+
+  workload::TenantStormConfig scfg =
+      workload::TenantStormConfig::bandwidth_hog();
+  scfg.tenant = TenantLbEnv::kHogTenant;
+  scfg.max_outstanding = 256;
+  scfg.post_period = usec(1);
+  TenantLbEnv env(fcfg, scfg);
+  const int victim = 1;
+  fault::FaultPlan plan;
+  plan.storm_for(0, sim::TimePoint{msec(100).ns}, seconds(3));
+  plan.degrade_link_for(env.backends[victim]->id,
+                        sim::TimePoint{msec(300).ns}, msec(400), msec(0),
+                        /*loss=*/1.0);
+  env.injector.arm(plan);
+  env.simu.run_for(msec(1500));
+
+  const auto& victim_seq = env.ladders[static_cast<std::size_t>(victim)];
+  ASSERT_FALSE(victim_seq.empty()) << "blackout left no trace";
+  EXPECT_EQ(victim_seq.front(), "suspect");
+  EXPECT_EQ(victim_seq.back(), "healthy");  // recovered after restore
+  for (int i = 0; i < TenantLbEnv::kBackends; ++i) {
+    if (i == victim) continue;
+    EXPECT_TRUE(env.ladders[static_cast<std::size_t>(i)].empty())
+        << "congestion smeared onto backend " << i;
+  }
+  EXPECT_GT(env.storm->completed(), 0u);  // the noise was real
+}
+
+TEST(TenantFault, MrThrashEvictionsAreAttributedPerTenant) {
+  // An MR-churning tenant on a bounded NIC context cache displaces the
+  // monitoring plane's entries at the victim NIC. The cache must charge
+  // the evictions to the EVICTED entry's tenant, so operators can see
+  // whose state a thrasher destroyed — and monitoring itself must keep
+  // succeeding (evictions cost reload latency, not correctness).
+  sim::Simulation simu;
+  net::FabricConfig fcfg;
+  fcfg.nic_ctx_cache_entries = 32;
+  net::Fabric fabric{simu, fcfg};
+  os::Node frontend{simu, {.name = "frontend"}};
+  os::Node backend{simu, {.name = "backend"}};
+  os::Node aggressor{simu, {.name = "agg"}};
+  fabric.attach(frontend);
+  fabric.attach(backend);
+  fabric.attach(aggressor);
+  MonitorConfig mcfg = fast_cfg(Scheme::RdmaSync);
+  mcfg.tenant = 1;
+  monitor::MonitorChannel chan(fabric, frontend, backend, mcfg);
+
+  workload::TenantStormConfig scfg = workload::TenantStormConfig::mr_thrash();
+  scfg.tenant = 9;
+  workload::TenantStorm storm(fabric, aggressor,
+                              {workload::StormTarget{backend.id, {}}}, scfg);
+  int ok_fetches = 0;
+  frontend.spawn("mon", [&](SimThread& self) -> Program {
+    for (;;) {
+      co_await os::SleepFor{msec(5)};
+      MonitorSample s;
+      co_await chan.frontend().fetch(self, s);
+      if (s.ok) ++ok_fetches;
+    }
+  });
+  simu.at(sim::TimePoint{msec(50).ns}, [&] { storm.start(); });
+  simu.run_for(msec(500));
+
+  const net::Nic& bnic = fabric.nic(backend.id);
+  EXPECT_GT(bnic.qpc_evictions_for(1), 0u)
+      << "victim evictions not attributed to the monitoring tenant";
+  EXPECT_GT(bnic.qpc_evictions_for(9), 0u)
+      << "the thrasher's own churn should self-evict past the cache";
+  EXPECT_GT(storm.posted(), 0u);
+  EXPECT_GT(ok_fetches, 50) << "monitoring stopped succeeding under thrash";
 }
 
 // --- determinism -------------------------------------------------------------

@@ -7,8 +7,8 @@ cd "$(dirname "$0")/../.."
 build="${1:-build}"
 
 cmake --build "$build" --target bench_fig3_latency bench_fig5_accuracy \
-  bench_scale_poll bench_verbs
-for b in fig3_latency fig5_accuracy scale_poll verbs; do
+  bench_scale_poll bench_verbs bench_qos
+for b in fig3_latency fig5_accuracy scale_poll verbs qos; do
   RDMAMON_BENCH_DIR=tests/golden "./$build/bench/bench_$b" --quick >/dev/null
   echo "regenerated tests/golden/BENCH_$b.json"
 done

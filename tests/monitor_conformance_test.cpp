@@ -8,6 +8,9 @@
 // in it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <any>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +24,7 @@
 #include "os/node.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
+#include "workload/tenantstorm.hpp"
 
 namespace rdmamon {
 namespace {
@@ -36,7 +40,7 @@ using sim::seconds;
 /// and different strategies see the same ground truth.
 struct ConformanceEnv {
   sim::Simulation simu;
-  net::Fabric fabric{simu, {}};
+  net::Fabric fabric;
   os::Node frontend{simu, {.name = "fe"}};
   std::vector<std::unique_ptr<os::Node>> backends;
   lb::LoadBalancer lb{lb::WeightConfig::for_scheme(Scheme::RdmaSync)};
@@ -47,13 +51,20 @@ struct ConformanceEnv {
   /// fail the comparison.
   std::vector<std::vector<std::string>> transitions;
 
+  /// `fcfg` lets the tenant-pressure axis enable fabric QoS; the default
+  /// keeps the historical fabric exactly.
   ConformanceEnv(MonitorStrategy strategy, int n, std::uint64_t seed,
-                 sim::Duration toggle_phase = seconds(2)) {
+                 sim::Duration toggle_phase = seconds(2),
+                 net::FabricConfig fcfg = {})
+      : fabric{simu, fcfg} {
     fabric.attach(frontend);
     transitions.resize(static_cast<std::size_t>(n));
     sim::Rng rng(seed);
     monitor::MonitorConfig mcfg;
     mcfg.scheme = Scheme::RdmaSync;
+    // The monitoring plane is tenant 1 everywhere: inert without QoS,
+    // a protected class with it.
+    mcfg.tenant = 1;
     for (int i = 0; i < n; ++i) {
       os::NodeConfig cfg;
       cfg.name = "be" + std::to_string(i);
@@ -269,6 +280,185 @@ TEST(ConformanceFaults, RandomFaultMatrixWalksSameLadder) {
     }
     expect_identical_ladders(n, plan, horizon, seed);
   }
+}
+
+// --- contract 3: the staleness contract under tenant pressure ----------------
+//
+// A noisy neighbor hammering the backends' NICs must not break the
+// monitoring plane's staleness bound WHEN fabric QoS protects it — and,
+// as the companion negative, the same storm with QoS off must visibly
+// breach the bound (otherwise the positive test is vacuous).
+
+constexpr net::TenantId kHogTenant = 9;
+
+/// QoS policy for the pressure axis: the monitoring plane (tenant 1) is
+/// a heavily weighted protected class; the hog gets weight 1 plus a
+/// 50 MB/s token-bucket cap. The bucket is one op-footprint deep so the
+/// cap really binds per op.
+net::FabricConfig qos_fabric() {
+  net::FabricConfig fcfg;
+  fcfg.qos.enabled = true;
+  net::TenantQosSpec mon;
+  mon.tenant = 1;
+  mon.weight = 8.0;
+  fcfg.qos.tenants.push_back(mon);
+  net::TenantQosSpec hog;
+  hog.tenant = kHogTenant;
+  hog.weight = 1.0;
+  hog.rate_bps = 50e6;
+  hog.burst_bytes = (1u << 20) + 64;
+  hog.queue_cap = 512;
+  fcfg.qos.tenants.push_back(hog);
+  return fcfg;
+}
+
+/// A bandwidth-hog aggressor on its own node, READing 1 MiB regions on
+/// every backend. One-sided ops serialize at the TARGET's DMA engine, so
+/// the standing window buries exactly the queues the monitor's tiny
+/// READs must cross. Driven through FaultPlan storm events so tests
+/// schedule pressure windows alongside crash/loss faults declaratively.
+struct StormRig {
+  os::Node aggressor;
+  fault::FaultInjector injector;
+  std::vector<workload::StormTarget> targets;
+  std::unique_ptr<workload::TenantStorm> storm;
+
+  StormRig(ConformanceEnv& env, std::size_t max_outstanding)
+      : aggressor(env.simu, {.name = "aggressor"}), injector(env.fabric) {
+    env.fabric.attach(aggressor);
+    workload::TenantStormConfig scfg =
+        workload::TenantStormConfig::bandwidth_hog();
+    scfg.tenant = kHogTenant;
+    scfg.max_outstanding = max_outstanding;
+    scfg.post_period = sim::usec(1);
+    for (const auto& b : env.backends) {
+      targets.push_back({b->id, env.fabric.nic(b->id).register_mr(
+                                    scfg.op_bytes, [] { return std::any{}; },
+                                    false, nullptr, kHogTenant)});
+    }
+    storm = std::make_unique<workload::TenantStorm>(env.fabric, aggressor,
+                                                    targets, scfg);
+    workload::drive_storms(injector, {storm.get()});
+  }
+};
+
+class TenantPressureP : public ::testing::TestWithParam<MonitorStrategy> {};
+
+TEST_P(TenantPressureP, StalenessBoundHoldsUnderStormWithQos) {
+  // Same probe as StalenessBoundRespected, but with a hog storming the
+  // backends from 1s to 3s. The hog's rate cap (applied at ITS initiator
+  // NIC) keeps the victims' DMA queues shallow, so every scheme must
+  // still meet the quiet-cluster bound.
+  ConformanceEnv env(GetParam(), 4, /*seed=*/11, seconds(2), qos_fabric());
+  StormRig rig(env, /*max_outstanding=*/256);
+  fault::FaultPlan plan;
+  plan.storm_for(0, sim::TimePoint{} + seconds(1), seconds(2));
+  rig.injector.arm(plan);
+  const sim::Duration bound = msec(250);
+  for (int k = 12; k <= 30; ++k) {
+    env.simu.at(sim::TimePoint{} + msec(100) * k, [&env, bound] {
+      for (int i = 0; i < 4; ++i) {
+        const monitor::MonitorSample& s = env.lb.last_sample(i);
+        ASSERT_TRUE(s.ok) << "backend " << i;
+        EXPECT_LE((env.simu.now() - s.retrieved_at).ns, bound.ns)
+            << "backend " << i;
+      }
+    });
+  }
+  env.simu.run_for(seconds(3) + msec(100));
+  // Non-vacuity: the hog really ran and really moved bytes.
+  EXPECT_GT(rig.storm->completed(), 0u);
+  // And nobody walked the health ladder over mere congestion.
+  for (const auto& seq : env.transitions) EXPECT_TRUE(seq.empty());
+}
+
+TEST(ConformanceTenantPressure, PullStalenessBreachesWithoutQos) {
+  // Companion negative: the identical storm with a deeper window and NO
+  // arbiter buries the backends' DMA engines (~380 ops x ~0.85 ms per
+  // backend is a ~320 ms standing queue), so monitor READs blow their
+  // 200 ms fetch deadline and the freshest sample ages past the bound.
+  ConformanceEnv env(MonitorStrategy::Pull, 4, /*seed=*/11);
+  StormRig rig(env, /*max_outstanding=*/1536);
+  fault::FaultPlan plan;
+  plan.storm_for(0, sim::TimePoint{} + seconds(1), seconds(2));
+  rig.injector.arm(plan);
+  std::int64_t worst_age_ns = 0;
+  for (int k = 15; k <= 30; ++k) {
+    env.simu.at(sim::TimePoint{} + msec(100) * k, [&env, &worst_age_ns] {
+      for (int i = 0; i < 4; ++i) {
+        const monitor::MonitorSample& s = env.lb.last_sample(i);
+        if (!s.ok) continue;
+        worst_age_ns =
+            std::max(worst_age_ns, (env.simu.now() - s.retrieved_at).ns);
+      }
+    });
+  }
+  env.simu.run_for(seconds(3) + msec(100));
+  EXPECT_GT(worst_age_ns, msec(250).ns)
+      << "unthrottled storm failed to breach the staleness bound";
+  EXPECT_GT(env.lb.fetch_failures(), 0u);
+  EXPECT_GT(rig.storm->completed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, TenantPressureP,
+                         ::testing::ValuesIn(kAllStrategies),
+                         [](const auto& info) {
+                           return std::string(monitor::to_string(info.param));
+                         });
+
+// --- contract 4: ladders stay identical when storms and faults compose -------
+
+/// run_faulted, but under QoS and with a rate-capped hog storming the
+/// backends for the whole fault window.
+std::vector<std::vector<std::string>> run_storm_faulted(
+    MonitorStrategy strategy, int n, const fault::FaultPlan& plan,
+    sim::Duration horizon, std::uint64_t seed) {
+  ConformanceEnv env(strategy, n, seed, seconds(2), qos_fabric());
+  StormRig rig(env, /*max_outstanding=*/256);
+  rig.injector.arm(plan);
+  env.simu.run_for(horizon);
+  return env.transitions;
+}
+
+TEST(ConformanceTenantPressure, LaddersIdenticalUnderStormAndFaultMatrix) {
+  // Seeded random crash/freeze/blackout windows AGAINST a standing
+  // (throttled) storm: congestion must not make the schemes disagree
+  // about what the faults did.
+  const int n = 4;
+  const sim::Duration horizon = seconds(6);
+  std::size_t total_transitions = 0;
+  for (const std::uint64_t seed : {404ull, 505ull}) {
+    sim::Rng rng(seed);
+    fault::FaultPlan plan;
+    plan.storm_for(0, sim::TimePoint{} + msec(500), seconds(4));
+    for (int k = 0; k < 2; ++k) {
+      const int node = 1 + static_cast<int>(rng.uniform_int(0, n - 1));
+      const auto start =
+          sim::TimePoint{} + msec(800 + 100 * rng.uniform_int(0, 20));
+      const auto window = msec(600 + 100 * rng.uniform_int(0, 14));
+      switch (rng.uniform_int(0, 2)) {
+        case 0: plan.crash_for(node, start, window); break;
+        case 1: plan.freeze_for(node, start, window); break;
+        default:
+          plan.degrade_link_for(node, start, window, msec(0), 1.0);
+      }
+    }
+    const auto pull =
+        run_storm_faulted(MonitorStrategy::Pull, n, plan, horizon, seed);
+    const auto push =
+        run_storm_faulted(MonitorStrategy::Push, n, plan, horizon, seed);
+    const auto adaptive =
+        run_storm_faulted(MonitorStrategy::Adaptive, n, plan, horizon, seed);
+    for (int i = 0; i < n; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      EXPECT_EQ(pull[idx], push[idx])
+          << "pull vs push, backend " << i << ", seed " << seed;
+      EXPECT_EQ(pull[idx], adaptive[idx])
+          << "pull vs adaptive, backend " << i << ", seed " << seed;
+      total_transitions += pull[idx].size();
+    }
+  }
+  EXPECT_GT(total_transitions, 0u) << "fault matrix produced no transitions";
 }
 
 }  // namespace
